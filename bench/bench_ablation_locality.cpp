@@ -1,0 +1,88 @@
+// Ablation: the localized backend (Algorithm 2) versus the exact global
+// solver, and the cost of locality — messages per round, hop caps, and
+// hop-realistic (TTL-limited) flooding versus the paper's idealized
+// N(n_i, rho) gather.
+#include "bench_common.hpp"
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "laacad/engine.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace laacad;
+
+void experiment() {
+  wsn::Domain domain = wsn::Domain::rectangle(600, 600);
+  Rng rng(55);
+  const auto initial = wsn::deploy_uniform(domain, 80, rng);
+  const int k = 2;
+
+  TextTable table({"backend", "rounds", "R* (m)", "verified depth",
+                   "gathers/round", "reports/round", "deepest hop"});
+
+  auto run_one = [&](const std::string& label, core::LaacadConfig cfg) {
+    wsn::Network net(&domain, initial, 120.0);
+    core::Engine engine(net, cfg);
+    const auto result = engine.run();
+    const auto exact =
+        cov::critical_point_coverage(domain, cov::sensing_disks(net));
+    double gathers = 0.0, reports = 0.0;
+    std::uint64_t deepest = 0;
+    for (const auto& m : result.history) {
+      gathers += static_cast<double>(m.comm.gather_requests);
+      reports += static_cast<double>(m.comm.node_reports);
+      deepest = std::max(deepest, m.comm.max_hops_used);
+    }
+    const double rounds = std::max<std::size_t>(result.history.size(), 1);
+    table.add_row({label, std::to_string(result.rounds),
+                   TextTable::num(result.final_max_range, 2),
+                   std::to_string(exact.min_depth),
+                   TextTable::num(gathers / rounds, 1),
+                   TextTable::num(reports / rounds, 1),
+                   std::to_string(deepest)});
+  };
+
+  {
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 1.0;
+    cfg.max_rounds = 300;
+    run_one("global (exact)", cfg);
+  }
+  for (int hops : {3, 6, 10}) {
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 1.0;
+    cfg.max_rounds = 300;
+    cfg.backend = core::RegionBackend::kLocalized;
+    cfg.localized.max_hops = hops;
+    run_one("localized, cap " + std::to_string(hops) + " hops", cfg);
+  }
+  {
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 1.0;
+    cfg.max_rounds = 300;
+    cfg.backend = core::RegionBackend::kLocalized;
+    cfg.localized.max_hops = 10;
+    cfg.localized.ideal_gather = false;  // TTL-limited flooding
+    run_one("localized, realistic flooding", cfg);
+  }
+
+  benchutil::TableSink::instance().add(
+      "Ablation — locality: global vs Algorithm 2 (80 nodes, k = 2)",
+      std::move(table));
+  benchutil::TableSink::instance().note(
+      "Expected: localized backends reach the same R* and verified depth as "
+      "the exact global solver while touching only a few hops of "
+      "neighbourhood per gather; tight hop caps slow the expanding phase "
+      "but do not change the equilibrium.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::register_experiment("ablation/locality", experiment);
+  return benchutil::run_main(argc, argv);
+}

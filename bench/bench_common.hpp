@@ -1,0 +1,71 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Each bench binary registers its experiment(s) as one-shot google-benchmark
+// cases (so wall-clock cost is measured and reported uniformly) and collects
+// the paper-table rows into a TableSink that main() prints after
+// RunSpecifiedBenchmarks. Running a binary with no arguments therefore
+// reproduces both the numbers and their cost.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace laacad::benchutil {
+
+/// Accumulates titled tables produced inside benchmark bodies.
+class TableSink {
+ public:
+  static TableSink& instance() {
+    static TableSink sink;
+    return sink;
+  }
+
+  void add(std::string title, TextTable table) {
+    tables_.emplace_back(std::move(title), std::move(table));
+  }
+
+  void note(std::string line) { notes_.push_back(std::move(line)); }
+
+  void print_all() const {
+    for (const auto& [title, table] : tables_) {
+      std::printf("\n=== %s ===\n%s", title.c_str(),
+                  table.to_string().c_str());
+    }
+    for (const auto& n : notes_) std::printf("%s\n", n.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::pair<std::string, TextTable>> tables_;
+  std::vector<std::string> notes_;
+};
+
+/// Register `fn` as a one-iteration benchmark named `name`.
+inline void register_experiment(const std::string& name,
+                                std::function<void()> fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn = std::move(fn)](benchmark::State& state) {
+                                 for (auto _ : state) fn();
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Standard main body: run benchmarks, then print the collected tables.
+inline int run_main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  TableSink::instance().print_all();
+  return 0;
+}
+
+}  // namespace laacad::benchutil

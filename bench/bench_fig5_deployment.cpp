@@ -1,0 +1,132 @@
+// Fig. 5 reproduction: 100 nodes start in the bottom-left corner of 1 km^2
+// and LAACAD deploys them for k = 1..4 coverage. The paper's qualitative
+// claim is an "even clustering" equilibrium: for k >= 2 nodes gather in
+// groups of size k spread evenly over the area (pure even spread at k = 1).
+// We quantify it: cluster count and size distribution via union-find at a
+// co-location radius, plus coverage verification. SVG snapshots accompany.
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "laacad/engine.hpp"
+#include "viz/render.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace laacad;
+
+// Union-find clustering of node positions at the given merge radius.
+std::vector<int> cluster_sizes(const std::vector<geom::Vec2>& pts,
+                               double radius) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (geom::dist(pts[static_cast<std::size_t>(a)],
+                     pts[static_cast<std::size_t>(b)]) <= radius)
+        parent[static_cast<std::size_t>(find(a))] = find(b);
+  std::vector<int> count(static_cast<std::size_t>(n), 0);
+  for (int a = 0; a < n; ++a) ++count[static_cast<std::size_t>(find(a))];
+  std::vector<int> sizes;
+  for (int c : count)
+    if (c > 0) sizes.push_back(c);
+  return sizes;
+}
+
+void experiment() {
+  wsn::Domain domain = wsn::Domain::square_km();
+  Rng rng(3);
+  const int n = 100;
+  const auto initial = wsn::deploy_corner(domain, n, rng);
+  {
+    wsn::Network net(&domain, initial, 150.0);
+    viz::render_deployment("fig5_initial.svg", net);
+  }
+
+  TextTable table({"k", "rounds", "R* (m)", "min range (m)", "clusters",
+                   "mean cluster size", "verified depth"});
+  for (int k = 1; k <= 4; ++k) {
+    wsn::Network net(&domain, initial, 150.0);
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 1.0;
+    cfg.max_rounds = 300;
+    core::Engine engine(net, cfg);
+    const auto result = engine.run();
+    const auto exact =
+        cov::critical_point_coverage(domain, cov::sensing_disks(net));
+
+    // Co-location radius: 10% of the final sensing range.
+    const auto sizes =
+        cluster_sizes(net.positions(), 0.10 * result.final_max_range);
+    const double mean_size =
+        static_cast<double>(n) / static_cast<double>(sizes.size());
+
+    table.add_row({std::to_string(k), std::to_string(result.rounds),
+                   TextTable::num(result.final_max_range, 2),
+                   TextTable::num(result.final_min_range, 2),
+                   std::to_string(sizes.size()), TextTable::num(mean_size, 2),
+                   std::to_string(exact.min_depth)});
+    viz::render_deployment("fig5_k" + std::to_string(k) + ".svg", net);
+  }
+  benchutil::TableSink::instance().add(
+      "Fig. 5 — corner start, 100 nodes, 1 km^2: final deployments",
+      std::move(table));
+
+  // The paper reports an "even clustering" equilibrium (groups of k). Our
+  // exact implementation converges from generic starts to an equally good
+  // *staggered* equilibrium instead (see EXPERIMENTS.md); here we verify the
+  // paper's clustered configuration is indeed a fixed point: start from
+  // k-stacked groups and confirm LAACAD keeps them grouped.
+  TextTable stacked_table({"k", "rounds", "R* (m)", "clusters (start)",
+                           "clusters (end)", "mean cluster size (end)"});
+  for (int k = 2; k <= 4; ++k) {
+    Rng srng(400 + k);
+    const int groups = n / k;
+    auto anchors = wsn::deploy_uniform(domain, groups, srng);
+    auto init = wsn::stacked(anchors, k, srng, 1e-3);
+    wsn::Network net(&domain, init, 150.0);
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 1.0;
+    cfg.max_rounds = 300;
+    core::Engine engine(net, cfg);
+    const auto result = engine.run();
+    const auto sizes =
+        cluster_sizes(net.positions(), 0.10 * result.final_max_range);
+    stacked_table.add_row(
+        {std::to_string(k), std::to_string(result.rounds),
+         TextTable::num(result.final_max_range, 2), std::to_string(groups),
+         std::to_string(sizes.size()),
+         TextTable::num(static_cast<double>(groups * k) /
+                            static_cast<double>(sizes.size()),
+                        2)});
+  }
+  benchutil::TableSink::instance().add(
+      "Fig. 5 (clustered equilibrium) — k-stacked start stays clustered",
+      std::move(stacked_table));
+  benchutil::TableSink::instance().note(
+      "Paper's shape: for k >= 2 the 'even clustering' (groups of k) is an "
+      "equilibrium — started clustered, LAACAD keeps mean cluster size ~ k. "
+      "From generic starts our exact implementation finds a staggered local "
+      "optimum of comparable R* (both are local minima per Corollary 1). "
+      "Pictures in fig5_initial.svg / fig5_k{1..4}.svg.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::register_experiment("fig5/corner_deployment", experiment);
+  return benchutil::run_main(argc, argv);
+}

@@ -1,0 +1,64 @@
+// Fig. 7 reproduction: sensing energy consumption (E(r) = pi r^2) of the
+// final deployments while scaling the network size from 20 to 180 nodes in
+// 1 km^2, for k = 1..4.
+//   (a) maximum sensing load: decreases with N, grows ~k; the ratio between
+//       the k1 and k2 curves is roughly k1/k2, because LAACAD balances loads
+//       to E(r_i) ~ k |A| / N;
+//   (b) total sensing load: decreases with N (less overlap waste), grows
+//       with k.
+#include "bench_common.hpp"
+#include "laacad/engine.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+
+namespace {
+
+using namespace laacad;
+
+void experiment() {
+  wsn::Domain domain = wsn::Domain::square_km();
+  const std::vector<int> sizes = {20, 60, 100, 140, 180};
+
+  TextTable max_table({"N", "k=1 max load", "k=2 max load", "k=3 max load",
+                       "k=4 max load", "k2/k1", "k4/k2"});
+  TextTable tot_table({"N", "k=1 total", "k=2 total", "k=3 total",
+                       "k=4 total"});
+  for (int n : sizes) {
+    std::vector<double> maxload, total;
+    for (int k = 1; k <= 4; ++k) {
+      Rng rng(100 + n + k);
+      wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
+      core::LaacadConfig cfg;
+      cfg.k = k;
+      cfg.epsilon = 1.0;
+      cfg.max_rounds = 250;
+      core::Engine engine(net, cfg);
+      engine.run();
+      const wsn::LoadReport rep = wsn::load_report(net);
+      maxload.push_back(rep.max_load);
+      total.push_back(rep.total_load);
+    }
+    // Loads in units of 10^3 m^2 to keep the table readable.
+    auto fmt = [](double v) { return TextTable::num(v / 1e3, 1); };
+    max_table.add_row({std::to_string(n), fmt(maxload[0]), fmt(maxload[1]),
+                       fmt(maxload[2]), fmt(maxload[3]),
+                       TextTable::num(maxload[1] / maxload[0], 2),
+                       TextTable::num(maxload[3] / maxload[1], 2)});
+    tot_table.add_row({std::to_string(n), fmt(total[0]), fmt(total[1]),
+                       fmt(total[2]), fmt(total[3])});
+  }
+  benchutil::TableSink::instance().add(
+      "Fig. 7(a) — maximum sensing load (10^3 m^2), 1 km^2", std::move(max_table));
+  benchutil::TableSink::instance().add(
+      "Fig. 7(b) — total sensing load (10^3 m^2), 1 km^2", std::move(tot_table));
+  benchutil::TableSink::instance().note(
+      "Paper's shape: max load falls as 1/N and scales ~k (ratio columns "
+      "~2); total load decreases with N and increases with k.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::register_experiment("fig7/energy", experiment);
+  return benchutil::run_main(argc, argv);
+}

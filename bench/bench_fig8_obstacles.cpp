@@ -1,0 +1,97 @@
+// Fig. 8 reproduction: adaptability to arbitrarily shaped target areas with
+// obstacles. Two irregular domains (an L-shape with one obstacle and a
+// cross with two), k in {2, 4, 6, 8} as in the paper's panels. For every
+// run we verify exact k-coverage, that no node sits on an obstacle, and the
+// "even clustering as if the area were regular" claim via the cluster-size
+// statistic of Fig. 5.
+#include <functional>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "laacad/engine.hpp"
+#include "viz/render.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace laacad;
+
+std::size_t cluster_count(const std::vector<geom::Vec2>& pts, double radius) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x)
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    return x;
+  };
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (geom::dist(pts[static_cast<std::size_t>(a)],
+                     pts[static_cast<std::size_t>(b)]) <= radius)
+        parent[static_cast<std::size_t>(find(a))] = find(b);
+  std::size_t clusters = 0;
+  for (int a = 0; a < n; ++a)
+    if (find(a) == a) ++clusters;
+  return clusters;
+}
+
+void run_domain(const std::string& name, const wsn::Domain& domain,
+                TextTable& table) {
+  const int n = 120;
+  for (int k : {2, 4, 6, 8}) {
+    Rng rng(900 + k);
+    wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
+    core::LaacadConfig cfg;
+    cfg.k = k;
+    cfg.epsilon = 2.0;
+    cfg.max_rounds = 220;
+    core::Engine engine(net, cfg);
+    const auto result = engine.run();
+
+    bool feasible = true;
+    for (const wsn::Node& node : net.nodes())
+      feasible = feasible && domain.contains(node.pos);
+    const auto exact =
+        cov::critical_point_coverage(domain, cov::sensing_disks(net));
+    const std::size_t clusters =
+        cluster_count(net.positions(), 0.10 * result.final_max_range);
+    const double mean_cluster = static_cast<double>(n) / clusters;
+
+    table.add_row({name, std::to_string(k), std::to_string(result.rounds),
+                   TextTable::num(result.final_max_range, 1),
+                   TextTable::num(mean_cluster, 2), feasible ? "yes" : "NO",
+                   std::to_string(exact.min_depth)});
+    viz::render_deployment("fig8_" + name + "_k" + std::to_string(k) + ".svg",
+                           net);
+  }
+}
+
+void experiment() {
+  TextTable table({"domain", "k", "rounds", "R* (m)", "mean cluster size",
+                   "nodes off obstacles", "verified depth"});
+  wsn::Domain lshape = wsn::Domain::lshape(1000, 1000)
+                           .with_rect_hole({150, 150}, {330, 330});
+  run_domain("lshape", lshape, table);
+  wsn::Domain cross = wsn::Domain::cross(1000, 1000, 0.4)
+                          .with_rect_hole({460, 120}, {560, 240})
+                          .with_rect_hole({430, 720}, {560, 820});
+  run_domain("cross", cross, table);
+  benchutil::TableSink::instance().add(
+      "Fig. 8 — irregular areas with obstacles (120 nodes)", std::move(table));
+  benchutil::TableSink::instance().note(
+      "Paper's shape: LAACAD adapts to both domains for every k, keeps nodes "
+      "off obstacles, k-covers the area, and shows the same even clustering "
+      "(mean cluster size ~ k) as in regular areas. SVGs: "
+      "fig8_{lshape,cross}_k{2,4,6,8}.svg.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::register_experiment("fig8/obstacles", experiment);
+  return benchutil::run_main(argc, argv);
+}

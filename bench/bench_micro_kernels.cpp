@@ -1,0 +1,118 @@
+// Microbenchmarks of the geometric kernels underneath LAACAD: minimum
+// enclosing circle (Welzl), half-plane clipping, order-k cell construction,
+// dominating-region BFS, and the adaptive Lemma-1 solver. These are classic
+// google-benchmark cases (multiple timed iterations), unlike the one-shot
+// experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geometry/welzl.hpp"
+#include "voronoi/adaptive.hpp"
+#include "voronoi/orderk.hpp"
+#include "voronoi/sites.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace {
+
+using namespace laacad;
+using geom::Ring;
+using geom::Vec2;
+
+std::vector<Vec2> random_points(int n, std::uint64_t seed, double side) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0, side), rng.uniform(0, side)});
+  return pts;
+}
+
+void BM_Welzl(benchmark::State& state) {
+  const auto pts = random_points(static_cast<int>(state.range(0)), 1, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::min_enclosing_circle(pts));
+  }
+}
+BENCHMARK(BM_Welzl)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ClipRing(benchmark::State& state) {
+  Ring ring = geom::inscribed_ngon({50, 50}, 40.0,
+                                   static_cast<int>(state.range(0)));
+  const geom::HalfPlane hp = geom::bisector_halfplane({50, 50}, {90, 70});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::clip_ring(ring, hp));
+  }
+}
+BENCHMARK(BM_ClipRing)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_OrderKCell(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto sites = vor::separate_sites(random_points(40, 2, 100.0));
+  const Ring window = geom::box_ring({{0, 0}, {100, 100}});
+  const auto gens = vor::k_nearest_brute(sites, sites[0], k);
+  std::vector<int> others;
+  for (int i = 0; i < 40; ++i)
+    if (!std::count(gens.begin(), gens.end(), i)) others.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vor::order_k_cell(sites, gens, others, window));
+  }
+}
+BENCHMARK(BM_OrderKCell)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_DominatingRegion(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto sites = vor::separate_sites(random_points(60, 3, 200.0));
+  const Ring window = geom::box_ring({{0, 0}, {200, 200}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::dominating_region_cells(sites, 17, k, window));
+  }
+}
+BENCHMARK(BM_DominatingRegion)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AdaptiveSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sites = vor::separate_sites(random_points(n, 4, 1000.0));
+  const wsn::SpatialGrid grid(sites, 50.0);
+  const geom::BBox bbox{{0, 0}, {1000, 1000}};
+  // Interior-most node.
+  int center = 0;
+  double best = 1e18;
+  for (int i = 0; i < n; ++i) {
+    const double d = geom::dist(sites[static_cast<std::size_t>(i)], {500, 500});
+    if (d < best) {
+      best = d;
+      center = i;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::compute_dominating_region(sites, grid, center, 2, bbox));
+  }
+}
+BENCHMARK(BM_AdaptiveSolver)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_EnumerateAllCells(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto sites = vor::separate_sites(random_points(30, 5, 100.0));
+  const Ring window = geom::box_ring({{0, 0}, {100, 100}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vor::enumerate_order_k_cells(sites, k, window));
+  }
+}
+BENCHMARK(BM_EnumerateAllCells)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GridWithin(benchmark::State& state) {
+  auto pts = random_points(2000, 6, 1000.0);
+  const wsn::SpatialGrid grid(pts, 50.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.within({rng.uniform(0, 1000), rng.uniform(0, 1000)}, 80.0));
+  }
+}
+BENCHMARK(BM_GridWithin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

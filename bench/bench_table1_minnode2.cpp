@@ -1,0 +1,61 @@
+// Table I reproduction: LAACAD as an approximate min-node 2-coverage
+// solver. Deploy N in {1000, 1200, 1400, 1600} nodes over 1 km^2, run
+// LAACAD at k = 2, take R* = max sensing range, and compare N against the
+// boundary-free optimum of Bai et al. [3]:  N* = 4 |A| / (3 sqrt(3) R*^2).
+//
+// Paper's shape: N*/N ~ 0.85 — LAACAD uses ~15% more nodes than the
+// boundary-free bound, attributed to boundary effects. (The paper's printed
+// R* values correspond to a ~100 m x 100 m area; we run a true 1 km^2, so
+// our radii are ~10x — the N* column and the ratio are scale-free.)
+#include "bench_common.hpp"
+#include "baselines/regular.hpp"
+#include "common/stats.hpp"
+#include "laacad/engine.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace laacad;
+
+void experiment() {
+  wsn::Domain domain = wsn::Domain::square_km();
+  TextTable table({"N", "R* (m)", "N* = 4|A|/(3sqrt3 R*^2)", "N*/N",
+                   "median r (m)", "N*(median)/N"});
+  for (int n : {1000, 1200, 1400, 1600}) {
+    Rng rng(500 + n);
+    wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 60.0);
+    core::LaacadConfig cfg;
+    cfg.k = 2;
+    cfg.epsilon = 0.2;
+    cfg.max_rounds = 400;
+    core::Engine engine(net, cfg);
+    const auto result = engine.run();
+    const double rstar = result.final_max_range;
+    const double nstar = base::bai_min_nodes_2cov(domain.area(), rstar);
+    std::vector<double> ranges;
+    for (const auto& node : net.nodes())
+      ranges.push_back(node.sensing_range);
+    const double rmed = percentile(ranges, 50.0);
+    const double nstar_med = base::bai_min_nodes_2cov(domain.area(), rmed);
+    table.add_row({std::to_string(n), TextTable::num(rstar, 3),
+                   std::to_string(static_cast<long long>(std::lround(nstar))),
+                   TextTable::num(nstar / n, 3), TextTable::num(rmed, 3),
+                   TextTable::num(nstar_med / n, 3)});
+  }
+  benchutil::TableSink::instance().add(
+      "Table I — minimum nodes for 2-coverage (vs Bai et al. [3])",
+      std::move(table));
+  benchutil::TableSink::instance().note(
+      "Paper's values: N=1000..1600 -> N* = 836/1047/1210/1386, i.e. N*/N ~ "
+      "0.84-0.87, boundary effects blamed for the ~15% overhead. Shape to "
+      "match: R* ~ 1/sqrt(N); our max-range ratio lands ~0.75-0.80 (a few "
+      "corner nodes keep larger regions), while the median-range ratio "
+      "reproduces the paper's ~0.85 directly.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::register_experiment("table1/minnode_2coverage", experiment);
+  return benchutil::run_main(argc, argv);
+}

@@ -1,0 +1,63 @@
+// Demonstrates Algorithm 2: the localized (multi-hop, boundary-aware)
+// dominating-region computation matches the exact global one, and its
+// message cost stays local. This is the property that makes LAACAD an
+// *autonomous* deployment algorithm.
+//
+//   ./localized_vs_global [nodes] [gamma]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "laacad/localized.hpp"
+#include "laacad/region.hpp"
+#include "voronoi/adaptive.hpp"
+#include "voronoi/sites.hpp"
+#include "wsn/deployment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace laacad;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 150;
+  const double gamma = argc > 2 ? std::atof(argv[2]) : 120.0;
+
+  wsn::Domain domain = wsn::Domain::square_km();
+  Rng rng(23);
+  wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), gamma);
+  const wsn::CommModel comm(net);
+  std::printf("network: %d nodes, gamma = %.0f m, connected = %s\n", n, gamma,
+              comm.connected() ? "yes" : "no");
+
+  auto sites = vor::separate_sites(net.positions());
+  const wsn::SpatialGrid grid(sites, gamma);
+
+  // Interior probe node: nearest to the center.
+  const int i = grid.k_nearest({500, 500}, 1)[0];
+  std::printf("probe node %d at (%.0f, %.0f)\n\n", i, net.position(i).x,
+              net.position(i).y);
+
+  TextTable table({"k", "ring rho (m)", "hops", "nodes gathered",
+                   "|local - global| area", "local == global"});
+  for (int k = 1; k <= 6; ++k) {
+    core::LocalizedConfig cfg;
+    cfg.max_hops = 12;
+    wsn::BoundaryInfo binfo;  // interior node
+    wsn::CommStats stats;
+    Rng noise(1);
+    const auto local = core::localized_region(comm, i, k, binfo, cfg, &stats,
+                                              noise);
+    const auto global =
+        vor::compute_dominating_region(sites, grid, i, k, domain.bbox());
+    core::DominatingRegion lr(local.cells, domain), gr(global.cells, domain);
+    const double diff = std::abs(lr.area() - gr.area());
+    table.add_row({std::to_string(k), TextTable::num(local.rho, 0),
+                   std::to_string(local.hops),
+                   std::to_string(stats.node_reports),
+                   TextTable::num(diff, 6),
+                   diff <= 1e-3 * gr.area() ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nEach row: Algorithm 2 stopped after `hops` ring expansions "
+              "and its region agrees with the exact global computation — "
+              "only information from a few hops away is ever needed.\n");
+  return 0;
+}

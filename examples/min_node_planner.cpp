@@ -1,0 +1,64 @@
+// Sec. IV-C workflow: given a fixed sensing range r_s, find (approximately)
+// the fewest nodes that k-cover the area, and compare against the analytic
+// baselines of Bai et al. [3] and Ammari & Das [15].
+//
+//   ./min_node_planner [k] [r_s] [side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/ammari.hpp"
+#include "baselines/regular.hpp"
+#include "common/table.hpp"
+#include "coverage/critical.hpp"
+#include "laacad/min_node.hpp"
+
+int main(int argc, char** argv) {
+  using namespace laacad;
+
+  const int k = argc > 1 ? std::atoi(argv[1]) : 2;
+  const double rs = argc > 2 ? std::atof(argv[2]) : 25.0;
+  const double side = argc > 3 ? std::atof(argv[3]) : 150.0;
+
+  wsn::Domain domain = wsn::Domain::rectangle(side, side);
+  Rng rng(17);
+
+  core::MinNodeConfig cfg;
+  cfg.laacad.epsilon = 0.5;
+  cfg.laacad.max_rounds = 150;
+  std::printf("planning min-node %d-coverage of a %.0f x %.0f m area at "
+              "r_s = %.1f m ...\n", k, side, side, rs);
+  const core::MinNodeResult res =
+      core::plan_min_nodes(domain, k, rs, /*initial_n=*/-1, rng, cfg);
+
+  std::printf("  feasible : %s (after %d LAACAD runs)\n",
+              res.feasible ? "yes" : "no", res.laacad_runs);
+  std::printf("  nodes    : %d, achieved R* = %.2f m <= r_s\n", res.nodes,
+              res.achieved_range);
+
+  // Independent verification at the common range r_s.
+  std::vector<geom::Circle> disks;
+  for (geom::Vec2 p : res.positions) disks.push_back({p, rs});
+  const auto exact = cov::critical_point_coverage(domain, disks);
+  std::printf("  verified coverage depth : %d (need >= %d)\n",
+              exact.min_depth, k);
+
+  TextTable table({"method", "nodes (analytic, no boundary)"});
+  table.add_row({"LAACAD planner (measured)", std::to_string(res.nodes)});
+  if (k == 1) {
+    table.add_row({"Kershner optimal 1-cover",
+                   TextTable::num(base::kershner_min_nodes(domain.area(), rs), 1)});
+  }
+  if (k == 2) {
+    table.add_row({"Bai et al. [3] optimal 2-cover",
+                   TextTable::num(base::bai_min_nodes_2cov(domain.area(), rs), 1)});
+  }
+  table.add_row({"k x Kershner stacked bound",
+                 TextTable::num(base::stacked_min_nodes(domain.area(), rs, k), 1)});
+  table.add_row({"Ammari-Das [15] lens scheme",
+                 TextTable::num(base::ammari_min_nodes(domain.area(), rs, k), 1)});
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\n(analytic rows ignore boundary effects; the measured count "
+              "includes them — the paper reports ~15%% overhead for the same "
+              "reason)\n");
+  return 0;
+}

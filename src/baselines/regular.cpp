@@ -1,0 +1,49 @@
+#include "baselines/regular.hpp"
+
+#include <cmath>
+
+#include "wsn/deployment.hpp"
+
+namespace laacad::base {
+
+namespace {
+const double kSqrt3 = std::sqrt(3.0);
+}
+
+double kershner_min_nodes(double area, double r) {
+  return 2.0 * area / (3.0 * kSqrt3 * r * r);
+}
+
+double bai_min_nodes_2cov(double area, double r) {
+  return 4.0 * area / (3.0 * kSqrt3 * r * r);
+}
+
+double stacked_min_nodes(double area, double r, int k) {
+  return static_cast<double>(k) * kershner_min_nodes(area, r);
+}
+
+std::vector<geom::Vec2> stacked_triangular_deployment(
+    const wsn::Domain& domain, double r, int k, Rng& rng,
+    double spacing_factor) {
+  const double spacing = spacing_factor * kSqrt3 * r;
+  // Lay the lattice over the bbox (not just the domain) and project outside
+  // anchors onto the domain so its boundary strip is not left uncovered.
+  std::vector<geom::Vec2> anchors;
+  const geom::BBox bb = domain.bbox().inflated(spacing * 0.5);
+  const double row_h = spacing * kSqrt3 / 2.0;
+  int row = 0;
+  for (double y = bb.lo.y; y <= bb.hi.y; y += row_h, ++row) {
+    const double x0 = bb.lo.x + (row % 2 ? spacing / 2.0 : 0.0);
+    for (double x = x0; x <= bb.hi.x; x += spacing) {
+      const geom::Vec2 p{x, y};
+      if (domain.contains(p)) {
+        anchors.push_back(p);
+      } else if (domain.dist_to_boundary(p) <= spacing) {
+        anchors.push_back(domain.project_inside(p));
+      }
+    }
+  }
+  return wsn::stacked(anchors, k, rng, 1e-3);
+}
+
+}  // namespace laacad::base

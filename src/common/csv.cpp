@@ -1,0 +1,28 @@
+#include "common/csv.hpp"
+
+namespace laacad {
+
+namespace {
+void write_row(std::ofstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    out << cells[i];
+  }
+  out << '\n';
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (out_) write_row(out_, header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (!out_) return;
+  auto cells = row;
+  cells.resize(columns_);
+  write_row(out_, cells);
+}
+
+}  // namespace laacad

@@ -1,0 +1,27 @@
+// Tiny CSV writer for persisting experiment series (convergence traces,
+// sweeps) so figures can be re-plotted outside the binaries.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace laacad {
+
+/// Writes rows of values to a CSV file. Values are stringified by the caller
+/// (use TextTable::num for doubles) so no locale surprises creep in.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. `ok()` reports
+  /// whether the stream is healthy.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace laacad

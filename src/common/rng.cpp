@@ -1,0 +1,36 @@
+#include "common/rng.hpp"
+
+namespace laacad {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform01() { return uniform(0.0, 1.0); }
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::coin(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+Rng Rng::fork() {
+  // splitmix-style scramble of a fresh 64-bit draw keeps child streams
+  // decorrelated from the parent and from each other.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace laacad

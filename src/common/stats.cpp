@@ -1,0 +1,54 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laacad {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  sumsq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  double v = sumsq_ / static_cast<double>(n_) - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0.0, ss = 0.0;
+  for (double x : xs) {
+    s += x;
+    ss += x * x;
+  }
+  if (ss <= 0.0) return 1.0;
+  return s * s / (static_cast<double>(xs.size()) * ss);
+}
+
+}  // namespace laacad

@@ -1,0 +1,44 @@
+// Small summary-statistics helpers shared by metrics, tests, and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace laacad {
+
+/// Streaming accumulator for min / max / mean / variance of a double series.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double sum() const { return sum_; }
+  /// Population variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summarize a whole vector at once.
+Summary summarize(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) by linear interpolation on a sorted copy.
+/// Returns 0 for an empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²). Equals 1 when all entries are
+/// equal; approaches 1/n under maximal imbalance. Used to quantify the
+/// paper's "load balancing" claim.
+double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace laacad

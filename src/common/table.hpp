@@ -1,0 +1,36 @@
+// Fixed-width text tables: the bench binaries print the paper's tables and
+// figure series with this helper so every experiment's output looks uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace laacad {
+
+/// Accumulates rows of strings and prints them as an aligned text table with
+/// a header rule, e.g.
+///
+///   N      R* (m)   N*_{k=2}
+///   -----  -------  --------
+///   1000   30.41    833
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace laacad

@@ -1,0 +1,40 @@
+// Grid-sampling k-coverage verification (Definition 1 of the paper):
+// every point of the target area must be covered by at least k sensing
+// disks. The grid checker evaluates coverage depth on a dense lattice; the
+// exact critical-point checker in critical.hpp complements it.
+#pragma once
+
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "wsn/domain.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::cov {
+
+struct GridReport {
+  int min_depth = 0;             ///< lowest coverage depth over the samples
+  double mean_depth = 0.0;
+  geom::Vec2 worst_point;        ///< a sample achieving min_depth
+  std::size_t samples = 0;       ///< in-domain samples evaluated
+  /// Fraction of samples with depth >= k for k = 1..max recorded (index 0 is
+  /// k = 1).
+  std::vector<double> covered_fraction;
+
+  /// Convenience: fraction of the area k-covered.
+  double fraction_at_least(int k) const;
+};
+
+/// Coverage depth over a `resolution`-spaced lattice restricted to the
+/// domain. `disks` are the sensing disks (u_i, r_i).
+GridReport grid_coverage(const wsn::Domain& domain,
+                         const std::vector<geom::Circle>& disks,
+                         double resolution, int max_k_tracked = 8);
+
+/// Sensing disks of a network's current deployment.
+std::vector<geom::Circle> sensing_disks(const wsn::Network& net);
+
+/// Coverage depth at a single point (closed disks).
+int depth_at(const std::vector<geom::Circle>& disks, geom::Vec2 p);
+
+}  // namespace laacad::cov

@@ -1,0 +1,128 @@
+#include "geometry/angular.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laacad::geom {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+// Angular tolerance: generous because arc endpoints come from acos of
+// quantities with their own rounding.
+constexpr double kAngEps = 1e-12;
+
+double mid_angle(double a, double b) { return 0.5 * (a + b); }
+}  // namespace
+
+double normalize_angle(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+void AngularCoverage::add(double begin, double end) {
+  double len = end - begin;
+  if (len <= 0.0) {
+    len += kTwoPi;
+    if (len <= 0.0) return;
+  }
+  if (len >= kTwoPi) {  // full circle
+    arcs_.push_back({0.0, kTwoPi});
+    return;
+  }
+  // Stored unsplit: begin in [0, 2*pi), end = begin + len possibly > 2*pi.
+  // depth_at probes both theta and theta + 2*pi so wrap-around arcs count
+  // exactly once.
+  const double b = normalize_angle(begin);
+  arcs_.push_back({b, b + len});
+}
+
+int AngularCoverage::depth_at(double theta) const {
+  const double t = normalize_angle(theta);
+  int d = 0;
+  for (const Arc& a : arcs_) {
+    if (t >= a.begin - kAngEps && t <= a.end + kAngEps) ++d;
+    // An arc ending exactly at 2*pi also covers theta == 0 and vice versa.
+    else if (t + kTwoPi >= a.begin - kAngEps && t + kTwoPi <= a.end + kAngEps)
+      ++d;
+  }
+  return d;
+}
+
+int AngularCoverage::min_depth() const {
+  if (arcs_.empty()) return 0;
+  // Depth is piecewise constant with breakpoints at arc endpoints: evaluate
+  // at the midpoint of every maximal breakpoint-free interval.
+  std::vector<double> cuts;
+  cuts.reserve(arcs_.size() * 2);
+  for (const Arc& a : arcs_) {
+    cuts.push_back(normalize_angle(a.begin));
+    cuts.push_back(normalize_angle(a.end));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  int best = depth_at(mid_angle(cuts.back(), cuts.front() + kTwoPi));
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    best = std::min(best, depth_at(mid_angle(cuts[i], cuts[i + 1])));
+    if (best == 0) return 0;
+  }
+  return best;
+}
+
+int AngularCoverage::min_depth_over(const std::vector<Arc>& query) const {
+  if (query.empty()) return kNoConstraint;
+  int best = kNoConstraint;
+  for (const Arc& q : query) {
+    // Normalize the query arc into non-wrapping pieces.
+    double len = q.end - q.begin;
+    if (len <= 0.0) len += kTwoPi;
+    len = std::min(len, kTwoPi);
+    const double b = normalize_angle(q.begin);
+    std::vector<std::pair<double, double>> pieces;
+    if (b + len <= kTwoPi) {
+      pieces.emplace_back(b, b + len);
+    } else {
+      pieces.emplace_back(b, kTwoPi);
+      pieces.emplace_back(0.0, b + len - kTwoPi);
+    }
+    for (auto [pb, pe] : pieces) {
+      std::vector<double> cuts{pb, pe};
+      for (const Arc& a : arcs_) {
+        for (double c : {normalize_angle(a.begin), normalize_angle(a.end)}) {
+          if (c > pb && c < pe) cuts.push_back(c);
+        }
+      }
+      std::sort(cuts.begin(), cuts.end());
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        best = std::min(best, depth_at(0.5 * (cuts[i] + cuts[i + 1])));
+        if (best == 0) return 0;
+      }
+    }
+  }
+  return best;
+}
+
+ArcCoverResult arc_covered_by_disk(Vec2 center, double r, Vec2 other_center,
+                                   double other_r) {
+  ArcCoverResult res;
+  const double d = dist(center, other_center);
+  const double eps = kEps * (1.0 + r + other_r);
+  if (d + r <= other_r + eps) {
+    res.all = true;
+    return res;
+  }
+  if (std::abs(d - r) > other_r + eps || r <= eps) {
+    // Either the disk is too far to touch the circle, or it sits entirely
+    // inside the circle without reaching it.
+    res.none = true;
+    return res;
+  }
+  // Law of cosines on the triangle (center, other_center, boundary point).
+  double cosphi = (d * d + r * r - other_r * other_r) / (2.0 * d * r);
+  cosphi = std::clamp(cosphi, -1.0, 1.0);
+  const double phi = std::acos(cosphi);
+  const double theta = (other_center - center).angle();
+  res.arc = {theta - phi, theta + phi};
+  return res;
+}
+
+}  // namespace laacad::geom

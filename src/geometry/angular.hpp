@@ -1,0 +1,62 @@
+// Arithmetic on angular intervals of a circle. The perimeter-based exact
+// k-coverage checker reduces "is every point of this sensing circle covered
+// by >= k other disks?" to interval stabbing on [0, 2*pi).
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace laacad::geom {
+
+/// Half-open-ish angular interval [begin, end] on the unit circle, possibly
+/// wrapping past 2*pi. Angles are radians.
+struct Arc {
+  double begin = 0.0;
+  double end = 0.0;  ///< May exceed 2*pi to denote wrap-around.
+};
+
+/// Accumulates arcs and answers depth queries along the circle.
+class AngularCoverage {
+ public:
+  /// Add a covered arc; wrap-around (begin > end after normalization) is
+  /// handled by splitting internally.
+  void add(double begin, double end);
+
+  /// Coverage depth at angle theta.
+  int depth_at(double theta) const;
+
+  /// Minimum depth over the whole circle.
+  int min_depth() const;
+
+  /// Minimum depth over the union of query arcs (e.g. the part of a sensing
+  /// circle lying inside the target area). Empty query list yields INT_MAX
+  /// semantics via `min_depth_none` (= a very large value), meaning "no
+  /// constraint".
+  int min_depth_over(const std::vector<Arc>& query) const;
+
+  std::size_t arc_count() const { return arcs_.size(); }
+
+  /// Sentinel returned when the query region is empty.
+  static constexpr int kNoConstraint = 1 << 20;
+
+ private:
+  // Normalized, non-wrapping arcs in [0, 2*pi]; wrap arcs stored split.
+  std::vector<Arc> arcs_;
+};
+
+/// Normalize angle into [0, 2*pi).
+double normalize_angle(double a);
+
+/// The arc of circle (center, r) covered by the closed disk (other_center,
+/// other_r), as zero, one full-circle, or one arc. Returns {covered_all,
+/// covered_none, arc}.
+struct ArcCoverResult {
+  bool all = false;
+  bool none = false;
+  Arc arc;
+};
+ArcCoverResult arc_covered_by_disk(Vec2 center, double r, Vec2 other_center,
+                                   double other_r);
+
+}  // namespace laacad::geom

@@ -1,0 +1,68 @@
+#include "geometry/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laacad::geom {
+
+Circle circle_from_2(Vec2 a, Vec2 b) {
+  return {midpoint(a, b), 0.5 * dist(a, b)};
+}
+
+std::optional<Circle> circle_from_3(Vec2 a, Vec2 b, Vec2 c) {
+  const Vec2 ab = b - a, ac = c - a;
+  const double d = 2.0 * cross(ab, ac);
+  // Collinearity threshold relative to the triangle scale.
+  const double scale = std::max({ab.norm(), ac.norm(), dist(b, c)});
+  if (std::abs(d) < kEps * (1.0 + scale * scale)) return std::nullopt;
+  const double ab2 = ab.norm2(), ac2 = ac.norm2();
+  const Vec2 center =
+      a + Vec2{ac.y * ab2 - ab.y * ac2, ab.x * ac2 - ac.x * ab2} / d;
+  return Circle{center, dist(center, a)};
+}
+
+std::vector<Vec2> circle_circle_intersections(const Circle& a,
+                                              const Circle& b) {
+  const double d = dist(a.center, b.center);
+  const double scale = 1.0 + a.radius + b.radius;
+  if (d < kEps * scale) return {};  // concentric (or coincident)
+  if (d > a.radius + b.radius + kEps * scale) return {};
+  if (d < std::abs(a.radius - b.radius) - kEps * scale) return {};
+
+  // Distance from a.center to the radical line along the center line.
+  const double x = (d * d + a.radius * a.radius - b.radius * b.radius) /
+                   (2.0 * d);
+  double h2 = a.radius * a.radius - x * x;
+  if (h2 < 0.0) h2 = 0.0;
+  const double h = std::sqrt(h2);
+  const Vec2 dir = (b.center - a.center) / d;
+  const Vec2 base = a.center + dir * x;
+  const Vec2 off = dir.perp() * h;
+  if (h < kEps * scale) return {base};
+  return {base + off, base - off};
+}
+
+std::vector<Vec2> circle_segment_intersections(const Circle& c, Vec2 p,
+                                               Vec2 q) {
+  const Vec2 d = q - p;
+  const double len2 = d.norm2();
+  if (len2 < kEps * kEps) return {};
+  const Vec2 f = p - c.center;
+  const double A = len2;
+  const double B = 2.0 * dot(f, d);
+  const double C = f.norm2() - c.radius * c.radius;
+  double disc = B * B - 4.0 * A * C;
+  if (disc < 0.0) return {};
+  disc = std::sqrt(disc);
+  std::vector<Vec2> out;
+  const double tp = kEps / std::max(std::sqrt(len2), kEps);
+  for (double t : {(-B - disc) / (2.0 * A), (-B + disc) / (2.0 * A)}) {
+    if (t >= -tp && t <= 1.0 + tp) {
+      const Vec2 pt = p + d * std::clamp(t, 0.0, 1.0);
+      if (out.empty() || !almost_equal(out.back(), pt)) out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+}  // namespace laacad::geom

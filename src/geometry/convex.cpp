@@ -1,0 +1,62 @@
+#include "geometry/convex.hpp"
+
+#include <algorithm>
+
+namespace laacad::geom {
+
+Ring convex_hull(std::vector<Vec2> points) {
+  std::sort(points.begin(), points.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](Vec2 a, Vec2 b) { return almost_equal(a, b); }),
+               points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return points;
+
+  Ring hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 &&
+           cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= kEps)
+      --k;
+    hull[k++] = points[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper chain
+    while (k >= lower &&
+           cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= kEps)
+      --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+bool is_convex(const Ring& ring, double eps) {
+  const std::size_t n = ring.size();
+  if (n < 3) return false;
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = ring[i], b = ring[(i + 1) % n], c = ring[(i + 2) % n];
+    const double cr = cross(b - a, c - b);
+    if (std::abs(cr) <= eps) continue;
+    const int s = cr > 0 ? 1 : -1;
+    if (sign == 0) sign = s;
+    else if (s != sign) return false;
+  }
+  return true;
+}
+
+Ring intersect_halfplanes(Ring convex_start,
+                          const std::vector<HalfPlane>& halfplanes,
+                          double eps) {
+  Ring out = std::move(convex_start);
+  for (const HalfPlane& hp : halfplanes) {
+    if (out.empty()) break;
+    out = clip_ring(out, hp, eps);
+  }
+  return out;
+}
+
+}  // namespace laacad::geom

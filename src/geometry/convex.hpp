@@ -1,0 +1,25 @@
+// Convex-specific helpers: hulls, convexity tests, and iterated half-plane
+// intersection (the workhorse for Voronoi cell construction).
+#pragma once
+
+#include <vector>
+
+#include "geometry/halfplane.hpp"
+#include "geometry/polygon.hpp"
+
+namespace laacad::geom {
+
+/// Andrew's monotone-chain convex hull (CCW, no duplicate endpoint).
+/// Collinear points on the hull boundary are dropped.
+Ring convex_hull(std::vector<Vec2> points);
+
+/// True when the ring is convex (either orientation) within eps.
+bool is_convex(const Ring& ring, double eps = kEps);
+
+/// Intersection of a convex start ring with a set of half-planes. Returns an
+/// empty ring when the intersection is empty or degenerate.
+Ring intersect_halfplanes(Ring convex_start,
+                          const std::vector<HalfPlane>& halfplanes,
+                          double eps = kEps);
+
+}  // namespace laacad::geom

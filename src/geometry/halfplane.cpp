@@ -1,0 +1,12 @@
+#include "geometry/halfplane.hpp"
+
+namespace laacad::geom {
+
+HalfPlane bisector_halfplane(Vec2 keep, Vec2 other) {
+  HalfPlane hp;
+  hp.point = midpoint(keep, other);
+  hp.normal = (other - keep).normalized();
+  return hp;
+}
+
+}  // namespace laacad::geom

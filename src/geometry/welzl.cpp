@@ -1,0 +1,56 @@
+#include "geometry/welzl.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace laacad::geom {
+
+namespace {
+
+// Containment tolerance for the incremental construction: proportional to
+// the circle size so kilometre-scale regions behave like unit-scale ones.
+bool inside(const Circle& c, Vec2 p) {
+  if (!c.valid()) return false;
+  return dist(c.center, p) <= c.radius + 1e-7 * (1.0 + c.radius);
+}
+
+Circle from_3_or_best_pair(Vec2 a, Vec2 b, Vec2 c) {
+  if (auto circ = circle_from_3(a, b, c)) return *circ;
+  // Near-collinear: the MEC of three collinear points is the diameter circle
+  // of the farthest pair.
+  Circle best = circle_from_2(a, b);
+  for (const Circle cand : {circle_from_2(a, c), circle_from_2(b, c)}) {
+    if (cand.radius > best.radius) best = cand;
+  }
+  return best;
+}
+
+}  // namespace
+
+Circle min_enclosing_circle(std::vector<Vec2> points) {
+  if (points.empty()) return Circle{{0, 0}, -1.0};
+  if (points.size() == 1) return Circle{points[0], 0.0};
+
+  // Fixed seed keeps runs reproducible while preserving the expected-linear
+  // behaviour of the move-to-front construction.
+  std::mt19937_64 gen(0x5eed5eedULL ^ points.size());
+  std::shuffle(points.begin(), points.end(), gen);
+
+  Circle c{points[0], 0.0};
+  const std::size_t n = points.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (inside(c, points[i])) continue;
+    c = Circle{points[i], 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      if (inside(c, points[j])) continue;
+      c = circle_from_2(points[i], points[j]);
+      for (std::size_t l = 0; l < j; ++l) {
+        if (inside(c, points[l])) continue;
+        c = from_3_or_best_pair(points[i], points[j], points[l]);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace laacad::geom

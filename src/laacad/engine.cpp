@@ -1,0 +1,139 @@
+#include "laacad/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "voronoi/sites.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace laacad::core {
+
+using geom::Vec2;
+
+Engine::Engine(wsn::Network& net, LaacadConfig cfg)
+    : net_(&net), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.k <= 0) throw std::invalid_argument("k must be positive");
+  if (net.size() < cfg_.k)
+    throw std::invalid_argument("need at least k nodes for k-coverage");
+  if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0)
+    throw std::invalid_argument("alpha must be in (0, 1]");
+}
+
+std::vector<DominatingRegion> Engine::compute_all_regions(
+    RoundMetrics* metrics) {
+  const int n = net_->size();
+  std::vector<DominatingRegion> regions(static_cast<std::size_t>(n));
+
+  if (cfg_.backend == RegionBackend::kGlobal) {
+    // One shared snapshot of (degeneracy-separated) positions per round.
+    auto sites = vor::separate_sites(net_->positions());
+    const wsn::SpatialGrid grid(sites, std::max(net_->gamma(), 1.0));
+    const geom::BBox bbox = net_->domain().bbox();
+    for (int i = 0; i < n; ++i) {
+      auto res = vor::compute_dominating_region(sites, grid, i, cfg_.k, bbox,
+                                                cfg_.adaptive);
+      regions[static_cast<std::size_t>(i)] =
+          DominatingRegion(res.cells, net_->domain());
+    }
+  } else {
+    const wsn::CommModel comm(*net_);
+    const auto binfo = wsn::detect_all_boundaries(*net_, cfg_.localized.boundary);
+    for (int i = 0; i < n; ++i) {
+      wsn::CommStats stats;
+      auto res = localized_region(comm, i, cfg_.k,
+                                  binfo[static_cast<std::size_t>(i)],
+                                  cfg_.localized, &stats, rng_);
+      regions[static_cast<std::size_t>(i)] =
+          DominatingRegion(res.cells, net_->domain());
+      if (metrics) metrics->comm.merge(stats);
+    }
+  }
+  return regions;
+}
+
+RoundMetrics Engine::step() {
+  RoundMetrics m;
+  m.round = ++round_;
+
+  const auto regions = compute_all_regions(&m);
+  const int n = net_->size();
+
+  m.min_circumradius = std::numeric_limits<double>::infinity();
+  std::vector<Vec2> targets(static_cast<std::size_t>(n));
+  std::vector<bool> has_target(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    const DominatingRegion& region = regions[static_cast<std::size_t>(i)];
+    if (region.empty()) continue;  // no feasible region: hold position
+    const geom::Circle cheb = region.chebyshev();
+    if (!cheb.valid()) continue;
+    targets[static_cast<std::size_t>(i)] = cheb.center;
+    has_target[static_cast<std::size_t>(i)] = true;
+    m.max_circumradius = std::max(m.max_circumradius, cheb.radius);
+    m.min_circumradius = std::min(m.min_circumradius, cheb.radius);
+    m.max_hat_radius =
+        std::max(m.max_hat_radius, region.max_dist_from(net_->position(i)));
+  }
+  if (m.min_circumradius == std::numeric_limits<double>::infinity())
+    m.min_circumradius = 0.0;
+
+  // Synchronized position update (Algorithm 1 lines 4-6).
+  for (int i = 0; i < n; ++i) {
+    if (!has_target[static_cast<std::size_t>(i)]) continue;
+    const Vec2 ui = net_->position(i);
+    const Vec2 ci = targets[static_cast<std::size_t>(i)];
+    const double d = geom::dist(ui, ci);
+    if (d <= cfg_.epsilon) continue;
+    net_->set_position(i, ui + (ci - ui) * cfg_.alpha);
+    // Convergence counts *actual* displacement: a node whose target sits
+    // inside an obstacle is projected back and may be pinned in place —
+    // that is a fixed point, not ongoing motion.
+    const double actual = geom::dist(ui, net_->position(i));
+    m.max_move = std::max(m.max_move, actual);
+    if (actual > std::max(1e-6, 0.05 * cfg_.epsilon)) ++m.moved;
+  }
+  return m;
+}
+
+RunResult Engine::run() {
+  RunResult result;
+  while (round_ < cfg_.max_rounds) {
+    RoundMetrics m = step();
+    const bool done = (m.moved == 0);
+    result.history.push_back(std::move(m));
+    if (done) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.rounds = round_;
+  finalize();
+
+  double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+  for (const wsn::Node& node : net_->nodes()) {
+    rmax = std::max(rmax, node.sensing_range);
+    rmin = std::min(rmin, node.sensing_range);
+  }
+  result.final_max_range = rmax;
+  result.final_min_range =
+      rmin == std::numeric_limits<double>::infinity() ? 0.0 : rmin;
+  result.load = wsn::load_report(*net_);
+  return result;
+}
+
+void Engine::finalize() {
+  const auto regions = compute_all_regions(nullptr);
+  for (int i = 0; i < net_->size(); ++i) {
+    const DominatingRegion& region = regions[static_cast<std::size_t>(i)];
+    const double r =
+        region.empty() ? 0.0 : region.max_dist_from(net_->position(i));
+    net_->set_sensing_range(i, r);
+  }
+}
+
+DominatingRegion Engine::region_of(wsn::NodeId i) {
+  auto regions = compute_all_regions(nullptr);
+  return regions[static_cast<std::size_t>(i)];
+}
+
+}  // namespace laacad::core

@@ -1,0 +1,98 @@
+// LAACAD — Algorithm 1 of the paper.
+//
+// Every round, synchronously for all nodes: compute the dominating region
+// V^k_{n_i} (either exactly via the adaptive Lemma-1 solver, or with the
+// hop-faithful localized Algorithm 2), find its Chebyshev center c_i, and
+// move u_i <- u_i + alpha (c_i - u_i) unless already within the stopping
+// tolerance epsilon. On termination each node tunes its sensing range to the
+// circumradius of its dominating region about its final position, which
+// guarantees k-coverage of the whole target area (every point lies in the
+// dominating region of each of its k nearest nodes, Proposition 1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "laacad/localized.hpp"
+#include "laacad/region.hpp"
+#include "voronoi/adaptive.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::core {
+
+/// Which region back-end drives the rounds.
+enum class RegionBackend {
+  kGlobal,     ///< adaptive exact solver (Lemma 1, geometric ring growth)
+  kLocalized,  ///< Algorithm 2: hop-granular rings + boundary service
+};
+
+struct LaacadConfig {
+  int k = 1;               ///< coverage degree
+  double alpha = 1.0;      ///< motion step size, (0, 1]
+  double epsilon = 0.5;    ///< stopping tolerance (metres)
+  int max_rounds = 400;
+  double tau_ms = 100.0;   ///< nominal round period (reporting only)
+  RegionBackend backend = RegionBackend::kGlobal;
+  vor::AdaptiveConfig adaptive;   ///< global-backend tuning
+  LocalizedConfig localized;      ///< localized-backend tuning
+  std::uint64_t seed = 1;         ///< feeds localization noise simulation
+};
+
+/// Per-round aggregates; mirrors the series plotted in Fig. 6.
+struct RoundMetrics {
+  int round = 0;
+  double max_circumradius = 0.0;  ///< max_i of the Chebyshev radius of V^k_i
+  double min_circumradius = 0.0;
+  double max_hat_radius = 0.0;    ///< max_i max_{v in V^k_i} |v - u_i| (R̂^l)
+  double max_move = 0.0;          ///< largest node displacement this round
+  int moved = 0;                  ///< nodes that moved more than epsilon
+  wsn::CommStats comm;            ///< localized backend message accounting
+};
+
+struct RunResult {
+  std::vector<RoundMetrics> history;
+  int rounds = 0;
+  bool converged = false;
+  double final_max_range = 0.0;  ///< R* = max_i r*_i
+  double final_min_range = 0.0;
+  wsn::LoadReport load;          ///< energy loads at termination
+};
+
+class Engine {
+ public:
+  /// The engine mutates `net` (positions and, at termination, sensing
+  /// ranges). The network must have at least cfg.k nodes.
+  Engine(wsn::Network& net, LaacadConfig cfg);
+
+  /// Execute one synchronized round; returns its metrics. Does not assign
+  /// sensing ranges (call finalize(), or use run()).
+  RoundMetrics step();
+
+  /// Rounds until no node moves more than epsilon, or max_rounds. Assigns
+  /// final sensing ranges and returns the full record.
+  RunResult run();
+
+  /// Recompute regions at the current positions and set each node's sensing
+  /// range to its region circumradius about its position.
+  void finalize();
+
+  /// Dominating region of node i at the current positions (for inspection,
+  /// visualization, and tests).
+  DominatingRegion region_of(wsn::NodeId i);
+
+  const LaacadConfig& config() const { return cfg_; }
+  int rounds_executed() const { return round_; }
+
+ private:
+  std::vector<DominatingRegion> compute_all_regions(RoundMetrics* metrics);
+
+  wsn::Network* net_;
+  LaacadConfig cfg_;
+  Rng rng_;
+  int round_ = 0;
+};
+
+}  // namespace laacad::core

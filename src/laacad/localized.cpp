@@ -1,0 +1,131 @@
+#include "laacad/localized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/convex.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::core {
+
+using geom::Ring;
+using geom::Vec2;
+
+namespace {
+
+Ring ring_window(Vec2 center, double radius, const geom::BBox& bbox,
+                 int sides) {
+  Ring win = geom::circumscribed_ngon(center, radius, sides);
+  std::vector<geom::HalfPlane> walls = {
+      {{bbox.hi.x, 0}, {1, 0}},
+      {{bbox.lo.x, 0}, {-1, 0}},
+      {{0, bbox.hi.y}, {0, 1}},
+      {{0, bbox.lo.y}, {0, -1}},
+  };
+  return geom::intersect_halfplanes(std::move(win), walls);
+}
+
+}  // namespace
+
+LocalizedRegion localized_region(const wsn::CommModel& comm, wsn::NodeId i,
+                                 int k, const wsn::BoundaryInfo& boundary,
+                                 const LocalizedConfig& cfg,
+                                 wsn::CommStats* stats, Rng& rng) {
+  LocalizedRegion out;
+  const wsn::Network& net = comm.network();
+  const wsn::Domain& domain = net.domain();
+  const Vec2 ui = net.position(i);
+  const double gamma = net.gamma();
+  const double reach = cfg.network_reach_factor * gamma;
+
+  // Compute the region from the currently gathered set, clipped to the
+  // searching ring and the area bounding box.
+  const geom::BBox bbox = domain.bbox().inflated(1.0);
+  std::vector<int> gathered;
+  auto compute_cells = [&](double rho) {
+    const auto rel = wsn::local_frame(net, i, gathered, cfg.frame, rng);
+    std::vector<Vec2> sites;
+    sites.reserve(gathered.size() + 1);
+    sites.push_back(ui);
+    for (Vec2 r : rel) sites.push_back(ui + r);
+    sites = vor::separate_sites(std::move(sites));
+    // Fewer than k sites in reach: every reachable point is dominated, so
+    // the region is the whole window (|S| <= k-1 trivially).
+    const int k_eff = std::min<int>(k, static_cast<int>(sites.size()));
+    const Ring window =
+        ring_window(ui, rho / 2.0, bbox, cfg.disk_ngon_sides);
+    return vor::dominating_region_cells(sites, 0, k_eff, window);
+  };
+
+  double rho = 0.0;
+  int hops = 0;
+  std::vector<vor::OrderKCell> cells;
+  while (true) {
+    rho += gamma;
+    ++hops;
+    if (hops > cfg.max_hops) {
+      // Searching capped: the ring itself becomes part of the region
+      // boundary (Fig. 3) — typical for boundary nodes of a deployment
+      // that has not yet expanded over the whole area.
+      rho -= gamma;
+      --hops;
+      out.capped = true;
+      if (rho > 0.0) cells = compute_cells(rho);
+      break;
+    }
+    gathered = comm.gather(
+        i, rho, cfg.ideal_gather ? -1 : hops + cfg.hop_slack, stats);
+
+    // Line 5-8 of Algorithm 2: is any point of the rho/2-circle still
+    // dominated by n_i?
+    bool enclosed = true;
+    for (int s = 0; s < cfg.arc_samples; ++s) {
+      const double ang = 2.0 * M_PI * s / cfg.arc_samples;
+      const Vec2 v = ui + Vec2{std::cos(ang), std::sin(ang)} * (rho / 2.0);
+      if (!domain.contains(v)) continue;  // A's boundary: natural boundary
+      if (boundary.network_boundary) {
+        // Restrict to the arc inside the region the network occupies.
+        bool inside_net = geom::dist(v, ui) <= reach;
+        for (int j : gathered) {
+          if (inside_net) break;
+          inside_net = geom::dist(v, net.position(j)) <= reach;
+        }
+        if (!inside_net) continue;
+      }
+      int closer = 0;
+      const double di = geom::dist(ui, v);
+      for (int j : gathered) {
+        if (geom::dist(net.position(j), v) < di) ++closer;
+      }
+      if (closer < k) {  // v still dominated by n_i: expand further
+        enclosed = false;
+        break;
+      }
+    }
+    if (!enclosed) continue;
+
+    // The sampled certificate can miss a sliver of the region slipping
+    // through an arc gap (e.g. near a domain corner), so verify it
+    // geometrically: if the computed region touches the rho/2 ring, the
+    // ring is still too tight — expand once more (same Lemma-1 touch test
+    // as the global adaptive solver).
+    cells = compute_cells(rho);
+    double maxd = 0.0;
+    for (const auto& c : cells)
+      for (Vec2 v : c.poly) maxd = std::max(maxd, geom::dist(ui, v));
+    if (maxd < 0.5 * rho * (1.0 - 1e-9)) break;
+  }
+  out.rho = rho;
+  out.hops = hops;
+
+  for (vor::OrderKCell& c : cells) {
+    for (int& g : c.gens)
+      g = (g == 0) ? static_cast<int>(i)
+                   : gathered[static_cast<std::size_t>(g) - 1];
+    std::sort(c.gens.begin(), c.gens.end());
+  }
+  out.cells = std::move(cells);
+  return out;
+}
+
+}  // namespace laacad::core

@@ -1,0 +1,58 @@
+// Algorithm 2: localized dominating-region computation by expanding rings.
+//
+// Each ring step widens the gather radius rho by one transmission range
+// gamma (one extra hop of flooding) and re-checks whether the circle of
+// radius rho/2 around the node is still partly dominated by it: sampled
+// circle points v where fewer than k gathered nodes are closer than the node
+// itself (|Ŝ^k_{n_i}(v)| < k, line 7 of the paper's pseudo-code) force
+// another expansion. Boundary nodes — flagged by the boundary-detection
+// service — restrict the check to the arc inside the target area and inside
+// the region currently occupied by the network, and use the searching ring
+// itself as part of their region boundary (Fig. 3), which is what pushes an
+// initially clustered deployment outward.
+#pragma once
+
+#include "common/rng.hpp"
+#include "voronoi/orderk.hpp"
+#include "wsn/boundary.hpp"
+#include "wsn/comm.hpp"
+#include "wsn/localization.hpp"
+
+namespace laacad::core {
+
+struct LocalizedConfig {
+  int max_hops = 10;       ///< hard cap on ring expansion (hops)
+  int arc_samples = 72;    ///< sample density of the rho/2-circle check
+  int disk_ngon_sides = 48;
+  /// Algorithm 2 assumes every node within Euclidean distance rho is in
+  /// N(n_i, rho). With ideal_gather (default, the paper's semantics) the
+  /// flooding TTL is unbounded, so Euclidean-close nodes are found even
+  /// when the radio path detours. Disable to study hop-realistic flooding
+  /// with ceil(rho/gamma) + hop_slack TTL.
+  bool ideal_gather = true;
+  int hop_slack = 2;
+  /// A circle sample counts as "inside the network" when within this many
+  /// transmission ranges of a gathered node (coverage proxy for the
+  /// boundary-node arc restriction).
+  double network_reach_factor = 1.25;
+  wsn::BoundaryConfig boundary;
+  wsn::LocalFrameConfig frame;  ///< localization noise knobs
+};
+
+struct LocalizedRegion {
+  std::vector<vor::OrderKCell> cells;  ///< generator ids are global node ids
+  double rho = 0.0;                    ///< final ring radius
+  int hops = 0;                        ///< hops the ring required
+  bool capped = false;                 ///< stopped by max_hops
+};
+
+/// Compute node i's dominating region using only multi-hop-gatherable
+/// information. `boundary` is the service verdict for node i this round.
+/// Message costs are accumulated into `stats` (may be null). `rng` feeds the
+/// simulated localization noise.
+LocalizedRegion localized_region(const wsn::CommModel& comm, wsn::NodeId i,
+                                 int k, const wsn::BoundaryInfo& boundary,
+                                 const LocalizedConfig& cfg,
+                                 wsn::CommStats* stats, Rng& rng);
+
+}  // namespace laacad::core

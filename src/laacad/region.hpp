@@ -1,0 +1,59 @@
+// Dominating region of a node, clipped to the target area: the object each
+// LAACAD round computes per node. Wraps the convex Voronoi pieces with the
+// geometric queries Algorithm 1 needs — Chebyshev center (Welzl over the
+// region's vertices, exactly as the paper prescribes), circumradius about
+// the node's current position, and area accounting with obstacle holes
+// subtracted.
+#pragma once
+
+#include <vector>
+
+#include "geometry/welzl.hpp"
+#include "voronoi/orderk.hpp"
+#include "wsn/domain.hpp"
+
+namespace laacad::core {
+
+class DominatingRegion {
+ public:
+  DominatingRegion() = default;
+
+  /// Clip each convex cell to the domain and aggregate. Cells wholly outside
+  /// the domain are dropped. Note on holes: region vertices are taken from
+  /// the outer-ring clip only; a hole overlapping the region reduces its
+  /// `area()` but not its extreme points, so the sensing range derived from
+  /// the region can only over-cover (a safe approximation, see DESIGN.md).
+  DominatingRegion(const std::vector<vor::OrderKCell>& cells,
+                   const wsn::Domain& domain);
+
+  bool empty() const { return pieces_.empty(); }
+  const std::vector<geom::Ring>& pieces() const { return pieces_; }
+  const std::vector<geom::Vec2>& vertices() const { return vertices_; }
+
+  /// Area requiring coverage (holes subtracted).
+  double area() const { return area_; }
+
+  /// Farthest distance from `u` to any point of the region — the sensing
+  /// range node at `u` needs to cover it (paper's r_i, and the
+  /// \hat{R}^l_i of the convergence proof).
+  double max_dist_from(geom::Vec2 u) const;
+
+  /// Chebyshev center and circumradius of the region (Definition 2,
+  /// computed per Welzl over the vertices). Invalid circle when empty.
+  geom::Circle chebyshev() const;
+
+  /// Area-weighted centroid of the region pieces (holes ignored). Used by
+  /// the Lloyd/centroid target-rule ablation; LAACAD itself moves to the
+  /// Chebyshev center.
+  geom::Vec2 centroid() const;
+
+  /// Point-in-region test (any piece).
+  bool contains(geom::Vec2 v, double eps = geom::kEps) const;
+
+ private:
+  std::vector<geom::Ring> pieces_;
+  std::vector<geom::Vec2> vertices_;
+  double area_ = 0.0;
+};
+
+}  // namespace laacad::core

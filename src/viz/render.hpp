@@ -1,0 +1,34 @@
+// Scene renderers reproducing the paper's pictures: deployments with
+// sensing disks (Figs. 5 and 8) and k-order Voronoi partitions (Fig. 1).
+#pragma once
+
+#include <string>
+
+#include "laacad/engine.hpp"
+#include "voronoi/orderk.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::viz {
+
+struct RenderOptions {
+  bool sensing_disks = true;   ///< translucent sensing disks at the backdrop
+  bool node_ids = false;
+  double canvas_pixels = 800.0;
+};
+
+/// Domain outline + holes + nodes (+ sensing disks).
+bool render_deployment(const std::string& path, const wsn::Network& net,
+                       const RenderOptions& opts = {});
+
+/// Order-k Voronoi partition of the current node positions (Fig. 1 style).
+bool render_order_k_partition(const std::string& path,
+                              const wsn::Network& net, int k,
+                              const RenderOptions& opts = {});
+
+/// One node's dominating region (Fig. 2 style): region pieces highlighted,
+/// other nodes dimmed.
+bool render_dominating_region(const std::string& path,
+                              const wsn::Network& net, wsn::NodeId i, int k,
+                              const RenderOptions& opts = {});
+
+}  // namespace laacad::viz

@@ -1,0 +1,94 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+namespace laacad::viz {
+
+using geom::Vec2;
+
+SvgCanvas::SvgCanvas(geom::BBox world, double pixels) : world_(world) {
+  const double w = std::max(world.width(), 1e-9);
+  scale_ = pixels / w;
+  width_ = pixels;
+  height_ = std::max(world.height(), 1e-9) * scale_;
+  body_ << std::fixed << std::setprecision(2);
+}
+
+Vec2 SvgCanvas::map(Vec2 w) const {
+  return {(w.x - world_.lo.x) * scale_, height_ - (w.y - world_.lo.y) * scale_};
+}
+
+std::string SvgCanvas::style_attrs(const Style& s) {
+  std::ostringstream os;
+  os << "fill=\"" << s.fill << "\" stroke=\"" << s.stroke
+     << "\" stroke-width=\"" << s.stroke_width << "\"";
+  if (s.opacity < 1.0) os << " opacity=\"" << s.opacity << "\"";
+  return os.str();
+}
+
+void SvgCanvas::circle(Vec2 center, double radius, const Style& style) {
+  const Vec2 c = map(center);
+  body_ << "<circle cx=\"" << c.x << "\" cy=\"" << c.y << "\" r=\""
+        << scale(radius) << "\" " << style_attrs(style) << "/>\n";
+}
+
+void SvgCanvas::polygon(const geom::Ring& ring, const Style& style) {
+  if (ring.size() < 2) return;
+  body_ << "<polygon points=\"";
+  for (Vec2 v : ring) {
+    const Vec2 p = map(v);
+    body_ << p.x << ',' << p.y << ' ';
+  }
+  body_ << "\" " << style_attrs(style) << "/>\n";
+}
+
+void SvgCanvas::polyline(const std::vector<Vec2>& pts, const Style& style) {
+  if (pts.size() < 2) return;
+  body_ << "<polyline points=\"";
+  for (Vec2 v : pts) {
+    const Vec2 p = map(v);
+    body_ << p.x << ',' << p.y << ' ';
+  }
+  body_ << "\" " << style_attrs(style) << "/>\n";
+}
+
+void SvgCanvas::line(Vec2 a, Vec2 b, const Style& style) {
+  const Vec2 p = map(a), q = map(b);
+  body_ << "<line x1=\"" << p.x << "\" y1=\"" << p.y << "\" x2=\"" << q.x
+        << "\" y2=\"" << q.y << "\" " << style_attrs(style) << "/>\n";
+}
+
+void SvgCanvas::dot(Vec2 p, double pixel_radius, const std::string& color) {
+  const Vec2 c = map(p);
+  body_ << "<circle cx=\"" << c.x << "\" cy=\"" << c.y << "\" r=\""
+        << pixel_radius << "\" fill=\"" << color << "\" stroke=\"none\"/>\n";
+}
+
+void SvgCanvas::text(Vec2 p, const std::string& s, double pixel_size,
+                     const std::string& color) {
+  const Vec2 c = map(p);
+  body_ << "<text x=\"" << c.x << "\" y=\"" << c.y << "\" font-size=\""
+        << pixel_size << "\" fill=\"" << color
+        << "\" font-family=\"sans-serif\">" << s << "</text>\n";
+}
+
+std::string SvgCanvas::to_string() const {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+     << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+     << height_ << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n"
+     << body_.str() << "</svg>\n";
+  return os.str();
+}
+
+bool SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+}  // namespace laacad::viz

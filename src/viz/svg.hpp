@@ -1,0 +1,51 @@
+// Minimal dependency-free SVG canvas. World coordinates are metres with a
+// y-up convention; the canvas flips to SVG's y-down pixel space.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "geometry/polygon.hpp"
+
+namespace laacad::viz {
+
+/// Stroke/fill styling for primitives; values are raw SVG attribute
+/// strings ("none", "#1f77b4", "rgba(...)", etc.).
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "#333333";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+};
+
+class SvgCanvas {
+ public:
+  /// World window mapped to a canvas `pixels` wide (height keeps aspect).
+  SvgCanvas(geom::BBox world, double pixels = 800.0);
+
+  void circle(geom::Vec2 center, double radius, const Style& style);
+  void polygon(const geom::Ring& ring, const Style& style);
+  void line(geom::Vec2 a, geom::Vec2 b, const Style& style);
+  void dot(geom::Vec2 p, double pixel_radius, const std::string& color);
+  void text(geom::Vec2 p, const std::string& s, double pixel_size = 12.0,
+            const std::string& color = "#000000");
+  void polyline(const std::vector<geom::Vec2>& pts, const Style& style);
+
+  /// Serialize the full document.
+  std::string to_string() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  geom::Vec2 map(geom::Vec2 w) const;
+  double scale(double world_len) const { return world_len * scale_; }
+  static std::string style_attrs(const Style& s);
+
+  geom::BBox world_;
+  double scale_;
+  double width_, height_;
+  std::ostringstream body_;
+};
+
+}  // namespace laacad::viz

@@ -1,0 +1,103 @@
+#include "voronoi/adaptive.hpp"
+
+#include <algorithm>
+
+#include "geometry/convex.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::vor {
+
+using geom::Ring;
+using geom::Vec2;
+
+namespace {
+
+// Window = circumscribed n-gon of disk(center, radius) ∩ bbox. The n-gon is
+// circumscribed so its apothem equals `radius`: any window-clipped vertex is
+// at distance >= radius, which is exactly the expansion trigger.
+Ring disk_bbox_window(Vec2 center, double radius, const geom::BBox& bbox,
+                      int sides) {
+  Ring win = geom::circumscribed_ngon(center, radius, sides);
+  std::vector<geom::HalfPlane> walls = {
+      {{bbox.hi.x, 0}, {1, 0}},   // x <= hi.x
+      {{bbox.lo.x, 0}, {-1, 0}},  // x >= lo.x
+      {{0, bbox.hi.y}, {0, 1}},   // y <= hi.y
+      {{0, bbox.lo.y}, {0, -1}},  // y >= lo.y
+  };
+  return geom::intersect_halfplanes(std::move(win), walls);
+}
+
+double max_region_vertex_dist(const std::vector<OrderKCell>& cells, Vec2 ref) {
+  double m = 0.0;
+  for (const OrderKCell& c : cells)
+    for (Vec2 v : c.poly) m = std::max(m, geom::dist(ref, v));
+  return m;
+}
+
+}  // namespace
+
+RegionResult compute_dominating_region(const std::vector<Vec2>& sites,
+                                       const wsn::SpatialGrid& grid, int i,
+                                       int k, const geom::BBox& area_bbox,
+                                       const AdaptiveConfig& cfg) {
+  RegionResult result;
+  const int n = static_cast<int>(sites.size());
+  if (i < 0 || i >= n || k <= 0 || k > n) return result;
+  const Vec2 ui = sites[static_cast<size_t>(i)];
+  const geom::BBox bbox = area_bbox.inflated(cfg.bbox_margin);
+
+  // Initial gather radius: reach comfortably past the k nearest sites.
+  double rho = 1.0;
+  {
+    auto kn = grid.k_nearest(ui, k, /*exclude=*/i);
+    if (!kn.empty()) {
+      const double dk = geom::dist(sites[static_cast<size_t>(kn.back())], ui);
+      rho = std::max(4.0 * dk, 1e-3);
+    }
+  }
+
+  while (true) {
+    std::vector<int> local = grid.within(ui, rho);
+    const bool all_sites = static_cast<int>(local.size()) >= n;
+
+    // Build the local site list; remember the mapping back to global ids.
+    std::vector<Vec2> lpos;
+    lpos.reserve(local.size());
+    int li = -1;
+    for (std::size_t a = 0; a < local.size(); ++a) {
+      if (local[a] == i) li = static_cast<int>(a);
+      lpos.push_back(sites[static_cast<size_t>(local[a])]);
+    }
+    if (li < 0) {  // grid numerics; force self-inclusion
+      li = static_cast<int>(lpos.size());
+      lpos.push_back(ui);
+      local.push_back(i);
+    }
+    lpos = separate_sites(std::move(lpos));
+
+    const Ring window =
+        all_sites ? geom::box_ring(bbox)
+                  : disk_bbox_window(ui, rho / 2.0, bbox,
+                                     cfg.disk_ngon_sides);
+    auto cells = dominating_region_cells(lpos, li, k, window);
+
+    const bool fits =
+        all_sites ||
+        max_region_vertex_dist(cells, ui) < 0.5 * rho * (1.0 - 1e-9);
+    if (fits && (!cells.empty() || all_sites)) {
+      // Remap generator ids to global indices.
+      for (OrderKCell& c : cells) {
+        for (int& g : c.gens) g = local[static_cast<size_t>(g)];
+        std::sort(c.gens.begin(), c.gens.end());
+      }
+      result.cells = std::move(cells);
+      result.rho = rho;
+      result.used_all_sites = all_sites;
+      return result;
+    }
+    rho *= cfg.growth;
+    ++result.expansions;
+  }
+}
+
+}  // namespace laacad::vor

@@ -1,0 +1,51 @@
+// Adaptive exact dominating-region solver built on Lemma 1.
+//
+// Lemma 1 (paper): if the dominating region of n_i is enclosed by the circle
+// (u_i, rho/2), it is fully determined by the sites within (u_i, rho).
+// Pointwise form used here: for any v with |v - u_i| <= rho/2, a site
+// farther than rho from u_i is at distance >= rho/2 >= |v - u_i| from v, so
+// it can never beat i at v — membership inside the rho/2 disk is exact with
+// the local site set.
+//
+// The solver therefore gathers sites within rho, computes the region clipped
+// to (disk(u_i, rho/2) ∩ area bbox), and doubles rho while any region vertex
+// reaches the rho/2 boundary. The area-bbox clip bounds regions of nodes
+// near the boundary of A, whose raw dominating regions extend to infinity.
+// Once every site is gathered the region is exact in the whole bbox and the
+// disk window is dropped.
+//
+// This mirrors Algorithm 2's expanding ring with the hop granularity
+// replaced by geometric doubling; the hop-faithful variant lives in
+// laacad/localized.*.
+#pragma once
+
+#include "geometry/polygon.hpp"
+#include "voronoi/orderk.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace laacad::vor {
+
+struct RegionResult {
+  std::vector<OrderKCell> cells;  ///< convex pieces of V^k_i ∩ area bbox
+  double rho = 0.0;               ///< gather radius that certified the result
+  int expansions = 0;             ///< number of radius doublings
+  bool used_all_sites = false;    ///< fell back to the global site set
+
+  bool empty() const { return cells.empty(); }
+};
+
+struct AdaptiveConfig {
+  double growth = 1.8;       ///< rho multiplier per expansion
+  int disk_ngon_sides = 48;  ///< window approximation of the rho/2 disk
+  double bbox_margin = 1.0;  ///< metres of slack around the area bbox
+};
+
+/// Exact V^k_i ∩ bbox(A) for site i. `sites` are global positions (already
+/// degeneracy-separated); `grid` indexes the same positions. Generator ids
+/// in the result refer to indices in `sites`.
+RegionResult compute_dominating_region(const std::vector<geom::Vec2>& sites,
+                                       const wsn::SpatialGrid& grid, int i,
+                                       int k, const geom::BBox& area_bbox,
+                                       const AdaptiveConfig& cfg = {});
+
+}  // namespace laacad::vor

@@ -1,0 +1,187 @@
+#include "voronoi/orderk.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "geometry/halfplane.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::vor {
+
+using geom::HalfPlane;
+using geom::Ring;
+using geom::Vec2;
+
+namespace {
+
+// Max distance from `ref` to any vertex of the ring.
+double max_vertex_dist(const Ring& ring, Vec2 ref) {
+  double m = 0.0;
+  for (Vec2 v : ring) m = std::max(m, geom::dist(ref, v));
+  return m;
+}
+
+// Sorted indices of all sites except those in `gens`, by ascending distance
+// from ref.
+std::vector<int> sorted_out_sites(const std::vector<Vec2>& sites,
+                                  const std::vector<int>& gens, Vec2 ref) {
+  std::vector<int> out;
+  out.reserve(sites.size());
+  for (std::size_t j = 0; j < sites.size(); ++j) {
+    if (!std::binary_search(gens.begin(), gens.end(), static_cast<int>(j)))
+      out.push_back(static_cast<int>(j));
+  }
+  std::sort(out.begin(), out.end(), [&](int a, int b) {
+    return geom::dist2(sites[static_cast<size_t>(a)], ref) <
+           geom::dist2(sites[static_cast<size_t>(b)], ref);
+  });
+  return out;
+}
+
+// Probe offset used to identify the generator set across a cell edge:
+// relative to the local geometry scale.
+double probe_delta(const Ring& cell) {
+  const geom::BBox bb = geom::bounding_box(cell);
+  return 1e-6 * (1.0 + std::max(bb.width(), bb.height()));
+}
+
+}  // namespace
+
+Ring order_k_cell(const std::vector<Vec2>& sites,
+                  const std::vector<int>& gens,
+                  const std::vector<int>& others_sorted, const Ring& window) {
+  Ring cell = window;
+  if (cell.size() < 3 || gens.empty()) return {};
+
+  // Reference for the pruning bound: the generator farthest from which the
+  // out-site distances were sorted is approximated by the first generator.
+  const Vec2 ref = sites[static_cast<size_t>(gens.front())];
+  double dmax_h = 0.0;
+  for (int h : gens)
+    dmax_h = std::max(dmax_h, geom::dist(sites[static_cast<size_t>(h)], ref));
+
+  double rv = max_vertex_dist(cell, ref);
+  for (int j : others_sorted) {
+    if (cell.empty()) break;
+    const Vec2 uj = sites[static_cast<size_t>(j)];
+    // Pruning: for any v in the cell, dist(v, u_j) >= |u_j - ref| - rv and
+    // dist(v, u_h) <= rv + dmax_h. If the former exceeds the latter for the
+    // nearest remaining out-site, no later out-site can cut either.
+    if (geom::dist(uj, ref) - rv > rv + dmax_h) break;
+    bool cut = false;
+    for (int h : gens) {
+      const HalfPlane hp =
+          geom::bisector_halfplane(sites[static_cast<size_t>(h)], uj);
+      // Quick reject: does the bisector actually cut the current cell?
+      bool all_inside = true;
+      for (Vec2 v : cell) {
+        if (hp.signed_dist(v) > geom::kEps) {
+          all_inside = false;
+          break;
+        }
+      }
+      if (all_inside) continue;
+      cell = geom::clip_ring(cell, hp);
+      cut = true;
+      if (cell.empty()) break;
+    }
+    if (cut) rv = max_vertex_dist(cell, ref);
+  }
+  return cell;
+}
+
+namespace {
+
+// Shared BFS engine. When `restrict_to` >= 0, only cells whose generator
+// set contains that site are expanded and reported (dominating-region
+// traversal); otherwise all cells are reported (full enumeration).
+std::vector<OrderKCell> bfs_cells(const std::vector<Vec2>& sites, int k,
+                                  const Ring& window, int restrict_to,
+                                  const std::vector<std::vector<int>>& seeds) {
+  std::vector<OrderKCell> out;
+  if (sites.empty() || k <= 0 || k > static_cast<int>(sites.size()) ||
+      window.size() < 3)
+    return out;
+
+  std::set<std::vector<int>> visited;
+  std::queue<std::vector<int>> queue;
+  auto push = [&](std::vector<int> gens) {
+    std::sort(gens.begin(), gens.end());
+    gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+    if (static_cast<int>(gens.size()) != k) return;
+    if (restrict_to >= 0 &&
+        !std::binary_search(gens.begin(), gens.end(), restrict_to))
+      return;
+    if (visited.insert(gens).second) queue.push(std::move(gens));
+  };
+  for (const auto& s : seeds) push(s);
+
+  while (!queue.empty()) {
+    std::vector<int> gens = std::move(queue.front());
+    queue.pop();
+
+    const Vec2 ref = sites[static_cast<size_t>(gens.front())];
+    const auto others = sorted_out_sites(sites, gens, ref);
+    Ring cell = order_k_cell(sites, gens, others, window);
+    if (cell.empty() || geom::area(cell) < 1e-18) continue;
+
+    // Cross every edge with a probe just outside the cell; the k nearest
+    // sites there form the neighbouring cell's generator set.
+    const double delta = probe_delta(cell);
+    const std::size_t m = cell.size();
+    for (std::size_t e = 0; e < m; ++e) {
+      const Vec2 a = cell[e], b = cell[(e + 1) % m];
+      const Vec2 edge = b - a;
+      if (edge.norm() < 10.0 * delta) continue;  // skip slivers
+      const Vec2 outward = Vec2{edge.y, -edge.x}.normalized();
+      const Vec2 probe = geom::midpoint(a, b) + outward * delta;
+      if (!geom::contains_point(window, probe, 0.0)) continue;  // window edge
+      push(k_nearest_brute(sites, probe, k));
+    }
+
+    out.push_back(OrderKCell{std::move(gens), std::move(cell)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<OrderKCell> dominating_region_cells(const std::vector<Vec2>& sites,
+                                                int i, int k,
+                                                const Ring& window) {
+  if (i < 0 || i >= static_cast<int>(sites.size())) return {};
+  const Vec2 ui = sites[static_cast<size_t>(i)];
+  std::vector<std::vector<int>> seeds;
+  seeds.push_back(k_nearest_brute(sites, ui, k));
+  // Extra probe seeds around u_i guard against degenerate ties at u_i
+  // itself (e.g. when the k-nearest set at u_i has an empty cell).
+  for (int dir = 0; dir < 8; ++dir) {
+    const double ang = dir * M_PI / 4.0;
+    const Vec2 p = ui + Vec2{std::cos(ang), std::sin(ang)} * 1e-5;
+    auto h = k_nearest_brute(sites, p, k);
+    // Force i into the seed if the probe slipped outside its region.
+    if (!std::count(h.begin(), h.end(), i) && !h.empty()) h.back() = i;
+    seeds.push_back(std::move(h));
+  }
+  return bfs_cells(sites, k, window, i, seeds);
+}
+
+std::vector<OrderKCell> enumerate_order_k_cells(const std::vector<Vec2>& sites,
+                                                int k, const Ring& window) {
+  std::vector<std::vector<int>> seeds;
+  // Seeding from every site's own location reaches every connected
+  // component of the diagram restricted to the window.
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    seeds.push_back(k_nearest_brute(sites, sites[i], k));
+  seeds.push_back(k_nearest_brute(sites, geom::centroid(window), k));
+  return bfs_cells(sites, k, window, /*restrict_to=*/-1, seeds);
+}
+
+Ring order_1_cell(const std::vector<Vec2>& sites, int i, const Ring& window) {
+  auto cells = dominating_region_cells(sites, i, 1, window);
+  if (cells.empty()) return {};
+  return cells.front().poly;
+}
+
+}  // namespace laacad::vor

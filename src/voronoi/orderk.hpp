@@ -1,0 +1,65 @@
+// Order-k Voronoi cells and dominating regions (Sec. III-C of the paper).
+//
+// Representation: the order-k Voronoi cell of a k-subset H of sites is
+//
+//   V_H = { v : max_{h in H} |v - u_h|  <=  min_{j not in H} |v - u_j| }
+//       = intersection over (h in H, j not in H) of the bisector half-plane
+//         keeping h's side,
+//
+// a convex polygon. The *dominating region* of site i (paper notation
+// V^k_{n_i}) is the union of all nonempty V_H with i in H, equivalently
+// { v : at most k-1 other sites are strictly closer to v than i }
+// (Proposition 1). We enumerate the union by breadth-first search over the
+// cell adjacency graph: two cells sharing an edge differ by swapping one
+// generator, and the generator set of the neighbouring cell is recovered by
+// probing the k nearest sites just across the shared edge.
+//
+// Validity of the restricted BFS rests on the dominating region being
+// star-shaped with respect to u_i: any site that beats i at a point w on
+// the segment [u_i, v] also beats i at v (a half-plane that contains w but
+// not u_i must contain the whole ray beyond w), so the count of closer
+// sites is monotone along rays from u_i. This is property-tested in
+// tests/test_orderk.cpp.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace laacad::vor {
+
+/// One convex piece of an order-k Voronoi diagram.
+struct OrderKCell {
+  std::vector<int> gens;  ///< Sorted generator indices (|gens| = k).
+  geom::Ring poly;        ///< Convex polygon (CCW), clipped to the window.
+
+  double area() const { return geom::area(poly); }
+};
+
+/// Cell of an explicit generator set, clipped to the convex `window`.
+/// `others` lists candidate out-sites sorted by ascending distance from a
+/// reference point (pass all non-H sites; pruning is internal). Returns an
+/// empty ring when the cell is empty within the window.
+geom::Ring order_k_cell(const std::vector<geom::Vec2>& sites,
+                        const std::vector<int>& gens,
+                        const std::vector<int>& others_sorted,
+                        const geom::Ring& window);
+
+/// All cells forming the dominating region of site i at order k, clipped to
+/// `window`. `sites` must be degeneracy-free (see separate_sites). The
+/// window must be convex and should contain u_i.
+std::vector<OrderKCell> dominating_region_cells(
+    const std::vector<geom::Vec2>& sites, int i, int k,
+    const geom::Ring& window);
+
+/// Every nonempty order-k cell within the window (full-diagram enumeration;
+/// used for diagram statistics, Fig. 1, and cross-validation in tests).
+std::vector<OrderKCell> enumerate_order_k_cells(
+    const std::vector<geom::Vec2>& sites, int k, const geom::Ring& window);
+
+/// Classic order-1 Voronoi cell of site i (dominating region at k = 1 is a
+/// single convex cell).
+geom::Ring order_1_cell(const std::vector<geom::Vec2>& sites, int i,
+                        const geom::Ring& window);
+
+}  // namespace laacad::vor

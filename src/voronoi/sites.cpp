@@ -1,0 +1,59 @@
+#include "voronoi/sites.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laacad::vor {
+
+using geom::Vec2;
+
+std::vector<Vec2> separate_sites(std::vector<Vec2> positions, double min_sep) {
+  const std::size_t n = positions.size();
+  // O(n^2) in the worst case but the inner work only triggers for
+  // near-coincident pairs; region computations call this on small local
+  // lists, and full-network calls are once per round.
+  for (std::size_t pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (geom::dist2(positions[a], positions[b]) >= min_sep * min_sep)
+          continue;
+        // Deterministic separation direction derived from the indices.
+        const double ang =
+            2.39996322972865332 * static_cast<double>(a * 31 + b * 7 + pass);
+        const Vec2 dir{std::cos(ang), std::sin(ang)};
+        positions[a] -= dir * (0.6 * min_sep);
+        positions[b] += dir * (0.6 * min_sep);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return positions;
+}
+
+std::vector<int> k_nearest_brute(const std::vector<Vec2>& sites, Vec2 q,
+                                 int k) {
+  std::vector<int> idx(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) idx[i] = static_cast<int>(i);
+  const int kk = std::min<int>(k, static_cast<int>(sites.size()));
+  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                    [&](int a, int b) {
+                      return geom::dist2(sites[static_cast<size_t>(a)], q) <
+                             geom::dist2(sites[static_cast<size_t>(b)], q);
+                    });
+  idx.resize(static_cast<std::size_t>(kk));
+  return idx;
+}
+
+int closer_count(const std::vector<Vec2>& sites, int i, Vec2 v) {
+  const double di = geom::dist2(sites[static_cast<size_t>(i)], v);
+  int count = 0;
+  for (std::size_t j = 0; j < sites.size(); ++j) {
+    if (static_cast<int>(j) == i) continue;
+    if (geom::dist2(sites[j], v) < di) ++count;
+  }
+  return count;
+}
+
+}  // namespace laacad::vor

@@ -1,0 +1,58 @@
+#include "wsn/boundary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laacad::wsn {
+
+BoundaryInfo detect_boundary(const Network& net, NodeId i,
+                             const BoundaryConfig& cfg) {
+  BoundaryInfo info;
+  const double radius = cfg.radius > 0.0 ? cfg.radius : net.gamma();
+  const double margin = cfg.area_margin > 0.0 ? cfg.area_margin : net.gamma();
+
+  const geom::Vec2 ui = net.position(i);
+  if (net.domain().dist_to_boundary(ui) <= margin) info.area_boundary = true;
+
+  auto ids = net.nodes_within(ui, radius);
+  std::erase(ids, static_cast<int>(i));
+  if (ids.empty()) {
+    info.network_boundary = true;
+    return info;
+  }
+  std::vector<double> angles;
+  angles.reserve(ids.size());
+  for (int j : ids) angles.push_back((net.position(j) - ui).angle());
+  std::sort(angles.begin(), angles.end());
+  double max_gap = 2.0 * M_PI - (angles.back() - angles.front());
+  double gap_mid = angles.back() + 0.5 * max_gap;  // wrap-around gap
+  for (std::size_t a = 0; a + 1 < angles.size(); ++a) {
+    const double gap = angles[a + 1] - angles[a];
+    if (gap > max_gap) {
+      max_gap = gap;
+      gap_mid = angles[a] + 0.5 * gap;
+    }
+  }
+  // A wide gap marks a *network* boundary only when the uncovered direction
+  // points into the target area; a gap facing A's exterior is handled by
+  // the natural-boundary rule (the arc check skips out-of-area samples), so
+  // flagging it would wrongly suppress in-area checks at equilibrium.
+  const geom::Vec2 probe =
+      ui + geom::Vec2{std::cos(gap_mid), std::sin(gap_mid)} * radius;
+  info.network_boundary =
+      max_gap > cfg.gap_threshold && net.domain().contains(probe);
+  return info;
+}
+
+std::vector<BoundaryInfo> detect_all_boundaries(Network& net,
+                                                const BoundaryConfig& cfg) {
+  std::vector<BoundaryInfo> out;
+  out.reserve(static_cast<std::size_t>(net.size()));
+  for (NodeId i = 0; i < net.size(); ++i) {
+    out.push_back(detect_boundary(net, i, cfg));
+    net.node(i).boundary = out.back().any();
+  }
+  return out;
+}
+
+}  // namespace laacad::wsn

@@ -1,0 +1,72 @@
+#include "wsn/comm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace laacad::wsn {
+
+void CommStats::merge(const CommStats& o) {
+  gather_requests += o.gather_requests;
+  node_reports += o.node_reports;
+  max_hops_used = std::max(max_hops_used, o.max_hops_used);
+}
+
+CommModel::CommModel(const Network& net) : net_(&net) {
+  const int n = net.size();
+  adjacency_.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    adjacency_[static_cast<std::size_t>(i)] = net.one_hop_neighbors(i);
+  }
+}
+
+std::vector<int> CommModel::hop_distances(NodeId i, int max_hops) const {
+  const int n = net_->size();
+  std::vector<int> d(static_cast<std::size_t>(n), -1);
+  std::queue<int> q;
+  d[static_cast<std::size_t>(i)] = 0;
+  q.push(i);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    const int du = d[static_cast<std::size_t>(u)];
+    if (max_hops >= 0 && du >= max_hops) continue;
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (d[static_cast<std::size_t>(v)] < 0) {
+        d[static_cast<std::size_t>(v)] = du + 1;
+        q.push(v);
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<int> CommModel::gather(NodeId i, double rho, int ttl,
+                                   CommStats* stats) const {
+  const std::vector<int> d = hop_distances(i, ttl);
+  const geom::Vec2 ui = net_->position(i);
+  std::vector<int> out;
+  int deepest = 0;
+  for (int j = 0; j < net_->size(); ++j) {
+    if (j == i) continue;
+    if (d[static_cast<std::size_t>(j)] < 0) continue;
+    if (geom::dist(net_->position(j), ui) < rho) {
+      out.push_back(j);
+      deepest = std::max(deepest, d[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (stats) {
+    ++stats->gather_requests;
+    stats->node_reports += out.size();
+    stats->max_hops_used = std::max<std::uint64_t>(
+        stats->max_hops_used, static_cast<std::uint64_t>(deepest));
+  }
+  return out;
+}
+
+bool CommModel::connected() const {
+  if (net_->size() == 0) return true;
+  const std::vector<int> d = hop_distances(0);
+  return std::none_of(d.begin(), d.end(), [](int x) { return x < 0; });
+}
+
+}  // namespace laacad::wsn

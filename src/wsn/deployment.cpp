@@ -1,0 +1,90 @@
+#include "wsn/deployment.hpp"
+
+#include <cmath>
+
+namespace laacad::wsn {
+
+using geom::Vec2;
+
+std::vector<Vec2> deploy_uniform(const Domain& domain, int n, Rng& rng) {
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(domain.sample_uniform(rng));
+  return out;
+}
+
+std::vector<Vec2> deploy_corner(const Domain& domain, int n, Rng& rng,
+                                double fraction) {
+  const geom::BBox bb = domain.bbox();
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  int guard = 0;
+  while (static_cast<int>(out.size()) < n && guard < 1000000) {
+    ++guard;
+    Vec2 p{rng.uniform(bb.lo.x, bb.lo.x + bb.width() * fraction),
+           rng.uniform(bb.lo.y, bb.lo.y + bb.height() * fraction)};
+    if (domain.contains(p)) out.push_back(p);
+  }
+  // Degenerate domains whose corner window misses the region entirely:
+  // fall back to uniform sampling for the remainder.
+  while (static_cast<int>(out.size()) < n)
+    out.push_back(domain.sample_uniform(rng));
+  return out;
+}
+
+std::vector<Vec2> deploy_gaussian(const Domain& domain, int n, Vec2 center,
+                                  double sigma, Rng& rng) {
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(n));
+  int guard = 0;
+  while (static_cast<int>(out.size()) < n && guard < 1000000) {
+    ++guard;
+    Vec2 p{rng.gaussian(center.x, sigma), rng.gaussian(center.y, sigma)};
+    if (domain.contains(p)) out.push_back(p);
+  }
+  while (static_cast<int>(out.size()) < n)
+    out.push_back(domain.sample_uniform(rng));
+  return out;
+}
+
+std::vector<Vec2> triangular_lattice(const Domain& domain, double spacing) {
+  std::vector<Vec2> out;
+  const geom::BBox bb = domain.bbox().inflated(spacing);
+  const double row_h = spacing * std::sqrt(3.0) / 2.0;
+  int row = 0;
+  for (double y = bb.lo.y; y <= bb.hi.y; y += row_h, ++row) {
+    const double x0 = bb.lo.x + (row % 2 ? spacing / 2.0 : 0.0);
+    for (double x = x0; x <= bb.hi.x; x += spacing) {
+      const Vec2 p{x, y};
+      if (domain.contains(p)) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> square_lattice(const Domain& domain, double spacing) {
+  std::vector<Vec2> out;
+  const geom::BBox bb = domain.bbox().inflated(spacing);
+  for (double y = bb.lo.y; y <= bb.hi.y; y += spacing) {
+    for (double x = bb.lo.x; x <= bb.hi.x; x += spacing) {
+      const Vec2 p{x, y};
+      if (domain.contains(p)) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> stacked(const std::vector<Vec2>& anchors, int k, Rng& rng,
+                          double jitter) {
+  std::vector<Vec2> out;
+  out.reserve(anchors.size() * static_cast<std::size_t>(k));
+  for (Vec2 a : anchors) {
+    for (int i = 0; i < k; ++i) {
+      out.push_back(
+          a + Vec2{rng.uniform(-jitter, jitter), rng.uniform(-jitter, jitter)});
+    }
+  }
+  return out;
+}
+
+}  // namespace laacad::wsn

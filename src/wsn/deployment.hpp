@@ -1,0 +1,40 @@
+// Initial-deployment generators for the scenarios in the paper's evaluation:
+// uniform random (Fig. 7, Tables I/II), corner cluster (Figs. 5/6), and the
+// regular lattices used by the baselines.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wsn/domain.hpp"
+
+namespace laacad::wsn {
+
+/// n positions sampled uniformly over the domain's coverage area.
+std::vector<geom::Vec2> deploy_uniform(const Domain& domain, int n, Rng& rng);
+
+/// n positions clustered in the bottom-left corner of the domain bbox
+/// (within `fraction` of its width/height), as in Fig. 5(a).
+std::vector<geom::Vec2> deploy_corner(const Domain& domain, int n, Rng& rng,
+                                      double fraction = 0.12);
+
+/// n positions from an isotropic Gaussian centred at `center` (clipped to
+/// the domain by resampling).
+std::vector<geom::Vec2> deploy_gaussian(const Domain& domain, int n,
+                                        geom::Vec2 center, double sigma,
+                                        Rng& rng);
+
+/// Triangular (hexagonal-packing) lattice with edge `spacing` covering the
+/// domain; only in-domain points are returned.
+std::vector<geom::Vec2> triangular_lattice(const Domain& domain,
+                                           double spacing);
+
+/// Square lattice with the given spacing.
+std::vector<geom::Vec2> square_lattice(const Domain& domain, double spacing);
+
+/// k nodes per anchor point, jittered by `jitter` so co-located generators
+/// remain numerically distinct.
+std::vector<geom::Vec2> stacked(const std::vector<geom::Vec2>& anchors, int k,
+                                Rng& rng, double jitter = 1e-3);
+
+}  // namespace laacad::wsn

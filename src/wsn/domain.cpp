@@ -1,0 +1,123 @@
+#include "wsn/domain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laacad::wsn {
+
+using geom::BBox;
+using geom::Ring;
+using geom::Vec2;
+
+double ClippedRegion::coverage_area() const {
+  double a = geom::area(outer);
+  for (const Ring& h : hole_parts) a -= geom::area(h);
+  return std::max(a, 0.0);
+}
+
+Domain::Domain(Ring outer, std::vector<Ring> holes)
+    : outer_(std::move(outer)), holes_(std::move(holes)) {
+  geom::make_ccw(outer_);
+  for (Ring& h : holes_) geom::make_ccw(h);
+  bbox_ = geom::bounding_box(outer_);
+  area_ = geom::area(outer_);
+  for (const Ring& h : holes_) area_ -= geom::area(h);
+}
+
+Domain Domain::rectangle(double w, double h) {
+  return Domain(Ring{{0, 0}, {w, 0}, {w, h}, {0, h}});
+}
+
+Domain Domain::square_km() { return rectangle(1000.0, 1000.0); }
+
+Domain Domain::lshape(double w, double h) {
+  return Domain(
+      Ring{{0, 0}, {w, 0}, {w, h / 2}, {w / 2, h / 2}, {w / 2, h}, {0, h}});
+}
+
+Domain Domain::cross(double w, double h, double arm_fraction) {
+  const double ax = w * arm_fraction, ay = h * arm_fraction;
+  const double x0 = (w - ax) / 2, x1 = (w + ax) / 2;
+  const double y0 = (h - ay) / 2, y1 = (h + ay) / 2;
+  return Domain(Ring{{x0, 0},  {x1, 0},  {x1, y0}, {w, y0}, {w, y1}, {x1, y1},
+                     {x1, h},  {x0, h},  {x0, y1}, {0, y1}, {0, y0}, {x0, y0}});
+}
+
+Domain Domain::with_rect_hole(Vec2 lo, Vec2 hi) const {
+  return with_hole(Ring{lo, {hi.x, lo.y}, hi, {lo.x, hi.y}});
+}
+
+Domain Domain::with_hole(Ring hole) const {
+  auto holes = holes_;
+  holes.push_back(std::move(hole));
+  return Domain(outer_, std::move(holes));
+}
+
+bool Domain::contains(Vec2 p, double eps) const {
+  if (!geom::contains_point(outer_, p, eps)) return false;
+  for (const Ring& h : holes_) {
+    // Interior of a hole is blocked; allow points on / just outside its
+    // boundary by shrinking the test with -eps semantics: a point within eps
+    // of the hole boundary is treated as feasible.
+    if (geom::contains_point(h, p, 0.0) &&
+        geom::dist_to_boundary(h, p) > eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Domain::dist_to_boundary(Vec2 p) const {
+  double d = geom::dist_to_boundary(outer_, p);
+  for (const Ring& h : holes_) d = std::min(d, geom::dist_to_boundary(h, p));
+  return d;
+}
+
+Vec2 Domain::project_inside(Vec2 p, double margin) const {
+  if (contains(p) ) {
+    // Feasible already, but make sure it is not *inside* a hole-boundary
+    // epsilon band headed nowhere; contains() guarantees enough.
+    return p;
+  }
+  Vec2 q = p;
+  if (!geom::contains_point(outer_, q, 0.0)) {
+    const Vec2 b = geom::project_to_boundary(outer_, q);
+    // Pull inside the outer ring along the inward direction.
+    const Vec2 inward = (geom::centroid(outer_) - b).normalized();
+    q = b + inward * margin;
+    if (!geom::contains_point(outer_, q, 0.0)) q = b;  // concave fallback
+  }
+  for (const Ring& h : holes_) {
+    if (geom::contains_point(h, q, 0.0) &&
+        geom::dist_to_boundary(h, q) > geom::kEps) {
+      const Vec2 b = geom::project_to_boundary(h, q);
+      const Vec2 outward = (b - geom::centroid(h)).normalized();
+      q = b + outward * margin;
+    }
+  }
+  return q;
+}
+
+ClippedRegion Domain::clip_cell(const Ring& convex_cell) const {
+  ClippedRegion out;
+  if (convex_cell.size() < 3) return out;
+  out.outer = geom::sutherland_hodgman(outer_, convex_cell);
+  if (out.outer.empty()) return out;
+  for (const Ring& h : holes_) {
+    Ring part = geom::sutherland_hodgman(h, convex_cell);
+    if (!part.empty()) out.hole_parts.push_back(std::move(part));
+  }
+  return out;
+}
+
+Vec2 Domain::sample_uniform(Rng& rng) const {
+  if (outer_.empty()) throw std::runtime_error("sampling an empty domain");
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    Vec2 p{rng.uniform(bbox_.lo.x, bbox_.hi.x),
+           rng.uniform(bbox_.lo.y, bbox_.hi.y)};
+    if (contains(p)) return p;
+  }
+  throw std::runtime_error("rejection sampling failed; degenerate domain?");
+}
+
+}  // namespace laacad::wsn

@@ -1,0 +1,81 @@
+// The monitored area `A`: a simple polygon with optional polygonal holes
+// (obstacles mobile nodes cannot move onto and that need no coverage).
+// Reproduces the targeted-area model of Sec. III and the irregular regions
+// of Fig. 8.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/polygon.hpp"
+
+namespace laacad::wsn {
+
+/// A convex cell clipped against the domain: the piece of the cell inside
+/// the outer ring, plus the pieces of holes that overlap it (so callers can
+/// subtract obstacle area).
+struct ClippedRegion {
+  geom::Ring outer;                    ///< cell ∩ outer ring (SH output)
+  std::vector<geom::Ring> hole_parts;  ///< cell ∩ each hole
+
+  bool empty() const { return outer.empty(); }
+  /// Area of the region actually requiring coverage.
+  double coverage_area() const;
+};
+
+class Domain {
+ public:
+  Domain() = default;
+  /// `outer` is any simple ring (made CCW internally); holes must lie inside
+  /// the outer ring and be pairwise disjoint.
+  explicit Domain(geom::Ring outer, std::vector<geom::Ring> holes = {});
+
+  // -- Factories for the shapes used across the evaluation --------------
+
+  /// Axis-aligned rectangle [0,w] x [0,h].
+  static Domain rectangle(double w, double h);
+  /// Unit-km square used throughout the paper's evaluation.
+  static Domain square_km();
+  /// L-shaped region: w x h with the top-right quadrant removed.
+  static Domain lshape(double w, double h);
+  /// Plus/cross-shaped region inscribed in w x h.
+  static Domain cross(double w, double h, double arm_fraction = 1.0 / 3.0);
+  /// Copy of this domain with extra rectangular holes (obstacles).
+  Domain with_rect_hole(geom::Vec2 lo, geom::Vec2 hi) const;
+  Domain with_hole(geom::Ring hole) const;
+
+  // -- Queries -----------------------------------------------------------
+
+  const geom::Ring& outer() const { return outer_; }
+  const std::vector<geom::Ring>& holes() const { return holes_; }
+  geom::BBox bbox() const { return bbox_; }
+  /// Area of outer ring minus holes.
+  double area() const { return area_; }
+
+  /// Inside the outer ring and outside every hole (boundary counts inside
+  /// the outer ring; hole boundary counts as blocked).
+  bool contains(geom::Vec2 p, double eps = geom::kEps) const;
+
+  /// Distance from p to the nearest piece of domain boundary (outer ring or
+  /// any hole ring).
+  double dist_to_boundary(geom::Vec2 p) const;
+
+  /// Nearest feasible point for a mobile node: points outside the outer ring
+  /// are pulled in, points inside a hole are pushed out, both with a small
+  /// safety margin. Feasible inputs are returned unchanged.
+  geom::Vec2 project_inside(geom::Vec2 p, double margin = 1e-6) const;
+
+  /// Clip a convex cell against the domain.
+  ClippedRegion clip_cell(const geom::Ring& convex_cell) const;
+
+  /// Uniform sample over the coverage area (rejection in the bbox).
+  geom::Vec2 sample_uniform(Rng& rng) const;
+
+ private:
+  geom::Ring outer_;
+  std::vector<geom::Ring> holes_;
+  geom::BBox bbox_;
+  double area_ = 0.0;
+};
+
+}  // namespace laacad::wsn

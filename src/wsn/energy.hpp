@@ -1,0 +1,27 @@
+// Sensing-energy model of Sec. V-B: E(r) = pi * r^2, an increasing function
+// of the sensing range, identical across nodes. Load metrics quantify the
+// "load balancing" in LAACAD's name.
+#pragma once
+
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace laacad::wsn {
+
+/// E(r) = pi r^2.
+double sensing_energy(double range);
+
+/// Per-node loads E(r_i) for the current sensing ranges.
+std::vector<double> sensing_loads(const Network& net);
+
+struct LoadReport {
+  double max_load = 0.0;
+  double min_load = 0.0;
+  double total_load = 0.0;
+  double fairness = 1.0;  ///< Jain's index over loads.
+};
+
+LoadReport load_report(const Network& net);
+
+}  // namespace laacad::wsn

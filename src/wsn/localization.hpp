@@ -1,0 +1,32 @@
+// Local coordinate system simulation.
+//
+// LAACAD does not need global positions: each node builds a local frame from
+// ranging to its neighbours (the paper cites the MDS embedding of Shang &
+// Ruml [28]). We model the *product* of that service — neighbour positions
+// expressed in the node's own frame — with an optional multiplicative
+// ranging-noise knob, so tests can quantify LAACAD's robustness to imperfect
+// localization without re-implementing MDS itself (documented substitution,
+// see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::wsn {
+
+struct LocalFrameConfig {
+  /// Std-dev of multiplicative range error (0 = perfect ranging).
+  double range_noise = 0.0;
+  /// Std-dev of bearing error in radians (0 = perfect bearings).
+  double bearing_noise = 0.0;
+};
+
+/// Positions of `ids` relative to node i's own location (node i maps to the
+/// origin of its local frame), with simulated ranging/bearing noise.
+std::vector<geom::Vec2> local_frame(const Network& net, NodeId i,
+                                    const std::vector<int>& ids,
+                                    const LocalFrameConfig& cfg, Rng& rng);
+
+}  // namespace laacad::wsn

@@ -1,0 +1,76 @@
+#include "wsn/network.hpp"
+
+#include <algorithm>
+
+namespace laacad::wsn {
+
+using geom::Vec2;
+
+Network::Network(const Domain* domain, std::vector<Vec2> positions,
+                 double gamma)
+    : domain_(domain), gamma_(gamma) {
+  nodes_.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    Node n;
+    n.id = static_cast<NodeId>(i);
+    n.pos = domain_->project_inside(positions[i]);
+    nodes_.push_back(n);
+  }
+}
+
+std::vector<Vec2> Network::positions() const {
+  std::vector<Vec2> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.pos);
+  return out;
+}
+
+void Network::set_position(NodeId i, Vec2 p) {
+  nodes_[static_cast<size_t>(i)].pos = domain_->project_inside(p);
+  grid_dirty_ = true;
+}
+
+void Network::set_sensing_range(NodeId i, double r) {
+  nodes_[static_cast<size_t>(i)].sensing_range = r;
+}
+
+NodeId Network::add_node(Vec2 p) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.pos = domain_->project_inside(p);
+  nodes_.push_back(n);
+  grid_dirty_ = true;
+  return n.id;
+}
+
+void Network::remove_node(NodeId i) {
+  nodes_.erase(nodes_.begin() + i);
+  for (std::size_t j = 0; j < nodes_.size(); ++j)
+    nodes_[j].id = static_cast<NodeId>(j);
+  grid_dirty_ = true;
+}
+
+const SpatialGrid& Network::grid() const {
+  if (grid_dirty_ || !grid_) {
+    // Cell size ~ gamma works for both comm queries and k-nearest.
+    grid_ = std::make_unique<SpatialGrid>(positions(), std::max(gamma_, 1.0));
+    grid_dirty_ = false;
+  }
+  return *grid_;
+}
+
+std::vector<int> Network::nodes_within(Vec2 q, double radius) const {
+  return grid().within(q, radius);
+}
+
+std::vector<int> Network::k_nearest(Vec2 q, int k, int exclude) const {
+  return grid().k_nearest(q, k, exclude);
+}
+
+std::vector<int> Network::one_hop_neighbors(NodeId i) const {
+  auto ids = grid().within(position(i), gamma_);
+  std::erase(ids, static_cast<int>(i));
+  return ids;
+}
+
+}  // namespace laacad::wsn

@@ -1,0 +1,61 @@
+// The WSN itself: a set of mobile sensor nodes in a domain with a common
+// transmission range gamma (Sec. III-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "wsn/domain.hpp"
+#include "wsn/node.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace laacad::wsn {
+
+class Network {
+ public:
+  /// Nodes are placed at `positions`; gamma is the (identical) transmission
+  /// range. The domain is shared, not owned.
+  Network(const Domain* domain, std::vector<geom::Vec2> positions,
+          double gamma);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Domain& domain() const { return *domain_; }
+  double gamma() const { return gamma_; }
+
+  const Node& node(NodeId i) const { return nodes_[static_cast<size_t>(i)]; }
+  Node& node(NodeId i) { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  geom::Vec2 position(NodeId i) const {
+    return nodes_[static_cast<size_t>(i)].pos;
+  }
+  std::vector<geom::Vec2> positions() const;
+
+  /// Move node i (projected into the feasible domain); invalidates the grid.
+  void set_position(NodeId i, geom::Vec2 p);
+  void set_sensing_range(NodeId i, double r);
+
+  /// Add a node at p; returns its id. Remove drops the highest-index swap —
+  /// removal invalidates ids, so callers (the min-node planner) use it only
+  /// between full algorithm runs.
+  NodeId add_node(geom::Vec2 p);
+  void remove_node(NodeId i);
+
+  /// Spatial queries over *current* positions (grid rebuilt lazily after
+  /// moves).
+  std::vector<int> nodes_within(geom::Vec2 q, double radius) const;
+  std::vector<int> k_nearest(geom::Vec2 q, int k, int exclude = -1) const;
+  /// One-hop neighbours N(n_i): nodes within gamma, excluding i itself.
+  std::vector<int> one_hop_neighbors(NodeId i) const;
+
+ private:
+  const SpatialGrid& grid() const;
+
+  const Domain* domain_;
+  double gamma_;
+  std::vector<Node> nodes_;
+  mutable std::unique_ptr<SpatialGrid> grid_;
+  mutable bool grid_dirty_ = true;
+};
+
+}  // namespace laacad::wsn

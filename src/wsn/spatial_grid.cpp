@@ -1,0 +1,93 @@
+#include "wsn/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace laacad::wsn {
+
+using geom::Vec2;
+
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double cell_size)
+    : points_(points), cell_(std::max(cell_size, 1e-6)) {
+  geom::BBox bb = geom::bounding_box(points_);
+  origin_ = bb.lo;
+  nx_ = std::max(1, static_cast<int>(std::ceil((bb.width() + 1e-9) / cell_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil((bb.height() + 1e-9) / cell_)));
+  buckets_.resize(static_cast<std::size_t>(nx_) * ny_);
+  for (int i = 0; i < static_cast<int>(points_.size()); ++i) {
+    auto [cx, cy] = cell_of(points_[i]);
+    buckets_[cell_index(cx, cy)].push_back(i);
+  }
+}
+
+std::pair<int, int> SpatialGrid::cell_of(Vec2 p) const {
+  int cx = static_cast<int>(std::floor((p.x - origin_.x) / cell_));
+  int cy = static_cast<int>(std::floor((p.y - origin_.y) / cell_));
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return {cx, cy};
+}
+
+int SpatialGrid::cell_index(int cx, int cy) const { return cy * nx_ + cx; }
+
+std::vector<int> SpatialGrid::within(Vec2 q, double radius) const {
+  std::vector<int> out;
+  if (points_.empty() || radius < 0.0) return out;
+  const int r_cells = static_cast<int>(std::ceil(radius / cell_)) + 1;
+  auto [cx, cy] = cell_of(q);
+  const double r2 = radius * radius;
+  for (int dy = -r_cells; dy <= r_cells; ++dy) {
+    const int y = cy + dy;
+    if (y < 0 || y >= ny_) continue;
+    for (int dx = -r_cells; dx <= r_cells; ++dx) {
+      const int x = cx + dx;
+      if (x < 0 || x >= nx_) continue;
+      for (int idx : buckets_[cell_index(x, y)]) {
+        if (geom::dist2(points_[idx], q) <= r2) out.push_back(idx);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> SpatialGrid::k_nearest(Vec2 q, int k, int exclude) const {
+  std::vector<int> out;
+  if (points_.empty() || k <= 0) return out;
+  // Expanding-radius search; falls back to all points when the grid is
+  // sparse. Simple and adequate for simulation sizes (N <= a few thousand).
+  double radius = cell_;
+  const double max_radius =
+      std::hypot(static_cast<double>(nx_), static_cast<double>(ny_)) * cell_ +
+      cell_;
+  std::vector<int> cand;
+  while (true) {
+    cand = within(q, radius);
+    if (exclude >= 0)
+      std::erase(cand, exclude);
+    if (static_cast<int>(cand.size()) >= k || radius > max_radius) break;
+    radius *= 2.0;
+  }
+  std::sort(cand.begin(), cand.end(), [&](int a, int b) {
+    return geom::dist2(points_[a], q) < geom::dist2(points_[b], q);
+  });
+  // The radius-limited candidate set is correct only up to `radius`; the
+  // k-th candidate must lie strictly inside, otherwise expand once more.
+  while (static_cast<int>(cand.size()) >= k &&
+         geom::dist(points_[cand[static_cast<std::size_t>(k) - 1]], q) >
+             radius &&
+         radius <= max_radius) {
+    radius *= 2.0;
+    cand = within(q, radius);
+    if (exclude >= 0) std::erase(cand, exclude);
+    std::sort(cand.begin(), cand.end(), [&](int a, int b) {
+      return geom::dist2(points_[a], q) < geom::dist2(points_[b], q);
+    });
+  }
+  if (static_cast<int>(cand.size()) > k) cand.resize(static_cast<std::size_t>(k));
+  return cand;
+}
+
+}  // namespace laacad::wsn

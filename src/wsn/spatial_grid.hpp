@@ -1,0 +1,41 @@
+// Uniform hash grid over node positions: radius queries and k-nearest
+// queries in (near) constant time per result for the densities this project
+// simulates. Used by the Voronoi solvers and the communication model.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/vec2.hpp"
+
+namespace laacad::wsn {
+
+class SpatialGrid {
+ public:
+  /// Build over a fixed snapshot of positions. `cell_size` should be on the
+  /// order of the typical query radius; callers rebuild per round (positions
+  /// move every round anyway).
+  SpatialGrid(const std::vector<geom::Vec2>& points, double cell_size);
+
+  /// Indices of points with dist(p, q) <= radius (including any point equal
+  /// to q itself).
+  std::vector<int> within(geom::Vec2 q, double radius) const;
+
+  /// Indices of the k nearest points to q, sorted by distance ascending.
+  /// `exclude` (if >= 0) is skipped — used for "k nearest other nodes".
+  std::vector<int> k_nearest(geom::Vec2 q, int k, int exclude = -1) const;
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  std::pair<int, int> cell_of(geom::Vec2 p) const;
+  int cell_index(int cx, int cy) const;
+
+  std::vector<geom::Vec2> points_;
+  double cell_ = 1.0;
+  geom::Vec2 origin_;
+  int nx_ = 1, ny_ = 1;
+  std::vector<std::vector<int>> buckets_;
+};
+
+}  // namespace laacad::wsn

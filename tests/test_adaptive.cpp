@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "voronoi/adaptive.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::vor {
+namespace {
+
+using geom::Ring;
+using geom::Vec2;
+
+bool in_cells(const std::vector<OrderKCell>& cells, Vec2 v, double eps) {
+  for (const auto& c : cells)
+    if (geom::contains_point(c.poly, v, eps)) return true;
+  return false;
+}
+
+TEST(Adaptive, InteriorNodeStaysLocal) {
+  // Dense uniform field: an interior node must certify with a gather radius
+  // far below the field diameter.
+  laacad::Rng rng(51);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 400; ++i)
+    sites.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  sites = separate_sites(sites);
+  // Pick the node nearest the center.
+  int center = k_nearest_brute(sites, {500, 500}, 1)[0];
+  wsn::SpatialGrid grid(sites, 50.0);
+  geom::BBox bbox{{0, 0}, {1000, 1000}};
+  auto res = compute_dominating_region(sites, grid, center, 2, bbox);
+  ASSERT_FALSE(res.empty());
+  EXPECT_FALSE(res.used_all_sites);
+  EXPECT_LT(res.rho, 500.0);
+}
+
+TEST(Adaptive, MatchesGlobalBruteForceMembership) {
+  laacad::Rng rng(52);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 60; ++i)
+    sites.push_back({rng.uniform(0, 200), rng.uniform(0, 200)});
+  sites = separate_sites(sites);
+  wsn::SpatialGrid grid(sites, 20.0);
+  geom::BBox bbox{{0, 0}, {200, 200}};
+  for (int k : {1, 2, 3, 4}) {
+    for (int i : {0, 10, 30, 59}) {
+      auto res = compute_dominating_region(sites, grid, i, k, bbox);
+      ASSERT_FALSE(res.cells.empty()) << "i=" << i << " k=" << k;
+      for (int t = 0; t < 300; ++t) {
+        const Vec2 v{rng.uniform(0, 200), rng.uniform(0, 200)};
+        const double di = geom::dist(sites[static_cast<size_t>(i)], v);
+        bool near_tie = false;
+        for (std::size_t j = 0; j < sites.size(); ++j) {
+          if (static_cast<int>(j) == i) continue;
+          if (std::abs(geom::dist(sites[j], v) - di) < 1e-4) near_tie = true;
+        }
+        if (near_tie) continue;
+        const bool brute = closer_count(sites, i, v) <= k - 1;
+        EXPECT_EQ(brute, in_cells(res.cells, v, 1e-6))
+            << "i=" << i << " k=" << k << " v=(" << v.x << "," << v.y << ")";
+      }
+    }
+  }
+}
+
+TEST(Adaptive, GeneratorIdsAreGlobal) {
+  std::vector<Vec2> sites = {{10, 10}, {20, 10}, {30, 10}, {190, 190}};
+  wsn::SpatialGrid grid(sites, 20.0);
+  geom::BBox bbox{{0, 0}, {200, 200}};
+  auto res = compute_dominating_region(sites, grid, 3, 1, bbox);
+  ASSERT_FALSE(res.cells.empty());
+  for (const auto& c : res.cells) {
+    ASSERT_EQ(c.gens.size(), 1u);
+    EXPECT_EQ(c.gens[0], 3);
+  }
+}
+
+TEST(Adaptive, BoundaryNodeRegionBoundedByBBox) {
+  // Corner node: its raw dominating region extends outward unboundedly; the
+  // result must be clipped to (a hair beyond) the bbox.
+  laacad::Rng rng(53);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 50; ++i)
+    sites.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  sites[0] = {1, 1};
+  sites = separate_sites(sites);
+  wsn::SpatialGrid grid(sites, 20.0);
+  geom::BBox bbox{{0, 0}, {100, 100}};
+  auto res = compute_dominating_region(sites, grid, 0, 2, bbox);
+  ASSERT_FALSE(res.cells.empty());
+  for (const auto& c : res.cells)
+    for (Vec2 v : c.poly) {
+      EXPECT_GE(v.x, -2.0);
+      EXPECT_LE(v.x, 102.0);
+      EXPECT_GE(v.y, -2.0);
+      EXPECT_LE(v.y, 102.0);
+    }
+}
+
+TEST(Adaptive, KEqualsNOwnsWholeBox) {
+  std::vector<Vec2> sites = {{40, 40}, {60, 60}, {50, 40}};
+  sites = separate_sites(sites);
+  wsn::SpatialGrid grid(sites, 20.0);
+  geom::BBox bbox{{0, 0}, {100, 100}};
+  auto res = compute_dominating_region(sites, grid, 0, 3, bbox);
+  double total = 0.0;
+  for (const auto& c : res.cells) total += c.area();
+  // With k = N every point is dominated by every site: area = bbox area
+  // (with the solver's 1 m margin).
+  EXPECT_GT(total, 100.0 * 100.0);
+}
+
+TEST(Adaptive, ExpansionCountReportedAndDeterministic) {
+  laacad::Rng rng(54);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 100; ++i)
+    sites.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+  sites = separate_sites(sites);
+  wsn::SpatialGrid grid(sites, 30.0);
+  geom::BBox bbox{{0, 0}, {500, 500}};
+  auto a = compute_dominating_region(sites, grid, 42, 3, bbox);
+  auto b = compute_dominating_region(sites, grid, 42, 3, bbox);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.expansions, b.expansions);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+}
+
+}  // namespace
+}  // namespace laacad::vor

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "geometry/angular.hpp"
+
+namespace laacad::geom {
+namespace {
+
+TEST(NormalizeAngle, Wraps) {
+  EXPECT_NEAR(normalize_angle(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(normalize_angle(2.5 * M_PI), 0.5 * M_PI, 1e-12);
+  EXPECT_NEAR(normalize_angle(-0.5 * M_PI), 1.5 * M_PI, 1e-12);
+}
+
+TEST(AngularCoverage, EmptyHasZeroDepth) {
+  AngularCoverage cov;
+  EXPECT_EQ(cov.min_depth(), 0);
+  EXPECT_EQ(cov.depth_at(1.0), 0);
+}
+
+TEST(AngularCoverage, SingleArcDepth) {
+  AngularCoverage cov;
+  cov.add(0.0, M_PI);
+  EXPECT_EQ(cov.depth_at(0.5), 1);
+  EXPECT_EQ(cov.depth_at(4.0), 0);
+  EXPECT_EQ(cov.min_depth(), 0);
+}
+
+TEST(AngularCoverage, FullCircleFromTwoHalves) {
+  AngularCoverage cov;
+  cov.add(0.0, M_PI);
+  cov.add(M_PI, 2.0 * M_PI);
+  EXPECT_EQ(cov.min_depth(), 1);
+}
+
+TEST(AngularCoverage, WrappingArc) {
+  AngularCoverage cov;
+  cov.add(1.5 * M_PI, 2.5 * M_PI);  // wraps through 0
+  EXPECT_EQ(cov.depth_at(0.0), 1);
+  EXPECT_EQ(cov.depth_at(0.4 * M_PI), 1);
+  EXPECT_EQ(cov.depth_at(M_PI), 0);
+}
+
+TEST(AngularCoverage, OverlapDepthCounts) {
+  AngularCoverage cov;
+  cov.add(0.0, M_PI);
+  cov.add(0.5 * M_PI, 1.5 * M_PI);
+  cov.add(0.6 * M_PI, 0.9 * M_PI);
+  EXPECT_EQ(cov.depth_at(0.7 * M_PI), 3);
+  EXPECT_EQ(cov.depth_at(0.2 * M_PI), 1);
+  EXPECT_EQ(cov.min_depth(), 0);
+}
+
+TEST(AngularCoverage, FullCircleAdd) {
+  AngularCoverage cov;
+  cov.add(0.3, 0.3 + 2.0 * M_PI);
+  EXPECT_EQ(cov.min_depth(), 1);
+}
+
+TEST(AngularCoverage, MinDepthOverRestrictedArc) {
+  AngularCoverage cov;
+  cov.add(0.0, M_PI);  // only upper half covered
+  // Query restricted to the covered part: depth 1.
+  EXPECT_EQ(cov.min_depth_over({{0.2, 0.8}}), 1);
+  // Query spanning uncovered part: depth 0.
+  EXPECT_EQ(cov.min_depth_over({{0.2, 4.0}}), 0);
+  // Empty query: no constraint.
+  EXPECT_EQ(cov.min_depth_over({}), AngularCoverage::kNoConstraint);
+}
+
+TEST(AngularCoverage, MinDepthOverWrappingQuery) {
+  AngularCoverage cov;
+  cov.add(1.5 * M_PI, 2.5 * M_PI);
+  // Query is the same wrapped arc: fully covered once.
+  EXPECT_EQ(cov.min_depth_over({{1.6 * M_PI, 2.4 * M_PI}}), 1);
+}
+
+TEST(ArcCoveredByDisk, FullContainment) {
+  auto r = arc_covered_by_disk({0, 0}, 1.0, {0, 0}, 3.0);
+  EXPECT_TRUE(r.all);
+}
+
+TEST(ArcCoveredByDisk, NoReach) {
+  auto r = arc_covered_by_disk({0, 0}, 1.0, {10, 0}, 2.0);
+  EXPECT_TRUE(r.none);
+  // Small disk strictly inside the circle never reaches its boundary.
+  auto r2 = arc_covered_by_disk({0, 0}, 5.0, {0, 0}, 1.0);
+  EXPECT_TRUE(r2.none);
+}
+
+TEST(ArcCoveredByDisk, HalfCoverageGeometry) {
+  // Disk centered on the circle boundary with equal radius covers the arc
+  // of +-60 degrees around the contact direction... actually +-pi/3? For
+  // d = r = R: cos(phi) = (d^2 + r^2 - R^2)/(2dr) = 1/2 -> phi = pi/3.
+  auto res = arc_covered_by_disk({0, 0}, 2.0, {2, 0}, 2.0);
+  ASSERT_FALSE(res.all);
+  ASSERT_FALSE(res.none);
+  EXPECT_NEAR(res.arc.begin, -M_PI / 3.0, 1e-9);
+  EXPECT_NEAR(res.arc.end, M_PI / 3.0, 1e-9);
+}
+
+TEST(ArcCoveredByDisk, ConsistencyWithPointTest) {
+  // Property: sampled points on the circle agree with the arc verdict.
+  const Vec2 c{1, 2};
+  const double r = 3.0;
+  const Vec2 o{3, 3};
+  const double R = 2.5;
+  auto res = arc_covered_by_disk(c, r, o, R);
+  AngularCoverage cov;
+  if (res.all) cov.add(0, 2 * M_PI);
+  else if (!res.none) cov.add(res.arc.begin, res.arc.end);
+  for (int i = 0; i < 720; ++i) {
+    const double th = i * M_PI / 360.0;
+    const Vec2 p = c + Vec2{std::cos(th), std::sin(th)} * r;
+    const bool in_disk = dist(p, o) <= R + 1e-9;
+    const bool in_arc = cov.depth_at(th) > 0;
+    // Allow disagreement only within a hair of the arc endpoints.
+    const double margin = 1e-6;
+    if (std::abs(dist(p, o) - R) > margin) {
+      EXPECT_EQ(in_disk, in_arc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace laacad::geom

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "geometry/circle.hpp"
+
+namespace laacad::geom {
+namespace {
+
+TEST(Circle, ContainsClosedDisk) {
+  Circle c{{0, 0}, 2.0};
+  EXPECT_TRUE(c.contains({1, 1}));
+  EXPECT_TRUE(c.contains({2, 0}));  // boundary
+  EXPECT_FALSE(c.contains({2.1, 0}));
+  EXPECT_NEAR(c.area(), 4.0 * M_PI, 1e-12);
+}
+
+TEST(CircleFrom2, DiameterCircle) {
+  Circle c = circle_from_2({0, 0}, {4, 0});
+  EXPECT_EQ(c.center, Vec2(2, 0));
+  EXPECT_DOUBLE_EQ(c.radius, 2.0);
+}
+
+TEST(CircleFrom3, RightTriangle) {
+  auto c = circle_from_3({0, 0}, {4, 0}, {0, 3});
+  ASSERT_TRUE(c.has_value());
+  // Circumcenter of a right triangle is the hypotenuse midpoint.
+  EXPECT_NEAR(c->center.x, 2.0, 1e-12);
+  EXPECT_NEAR(c->center.y, 1.5, 1e-12);
+  EXPECT_NEAR(c->radius, 2.5, 1e-12);
+}
+
+TEST(CircleFrom3, EquidistantFromAllThree) {
+  auto c = circle_from_3({1, 2}, {5, -1}, {-2, 4});
+  ASSERT_TRUE(c.has_value());
+  for (Vec2 p : {Vec2{1, 2}, Vec2{5, -1}, Vec2{-2, 4}})
+    EXPECT_NEAR(dist(c->center, p), c->radius, 1e-9);
+}
+
+TEST(CircleFrom3, CollinearReturnsNullopt) {
+  EXPECT_FALSE(circle_from_3({0, 0}, {1, 1}, {2, 2}).has_value());
+}
+
+TEST(CircleCircle, TwoIntersections) {
+  Circle a{{0, 0}, 2.0}, b{{2, 0}, 2.0};
+  auto pts = circle_circle_intersections(a, b);
+  ASSERT_EQ(pts.size(), 2u);
+  for (Vec2 p : pts) {
+    EXPECT_NEAR(dist(p, a.center), a.radius, 1e-9);
+    EXPECT_NEAR(dist(p, b.center), b.radius, 1e-9);
+  }
+}
+
+TEST(CircleCircle, TangentExternally) {
+  Circle a{{0, 0}, 1.0}, b{{2, 0}, 1.0};
+  auto pts = circle_circle_intersections(a, b);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, 0.0, 1e-9);
+}
+
+TEST(CircleCircle, DisjointAndContained) {
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 1.0}, {{5, 0}, 1.0}).empty());
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 5.0}, {{1, 0}, 1.0}).empty());
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 1.0}, {{0, 0}, 1.0}).empty());
+}
+
+TEST(CircleSegment, ChordCrossing) {
+  Circle c{{0, 0}, 1.0};
+  auto pts = circle_segment_intersections(c, {-2, 0}, {2, 0});
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].x, -1.0, 1e-9);
+  EXPECT_NEAR(pts[1].x, 1.0, 1e-9);
+}
+
+TEST(CircleSegment, SegmentEndsInsideGivesOnePoint) {
+  Circle c{{0, 0}, 1.0};
+  auto pts = circle_segment_intersections(c, {0, 0}, {3, 0});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 1.0, 1e-9);
+}
+
+TEST(CircleSegment, MissesCircle) {
+  Circle c{{0, 0}, 1.0};
+  EXPECT_TRUE(circle_segment_intersections(c, {-2, 2}, {2, 2}).empty());
+  // Line would cross but the segment stops short.
+  EXPECT_TRUE(circle_segment_intersections(c, {2, 0}, {5, 0}).size() <= 1u);
+}
+
+TEST(CircleSegment, TangentLine) {
+  Circle c{{0, 0}, 1.0};
+  auto pts = circle_segment_intersections(c, {-2, 1}, {2, 1});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 0.0, 1e-6);
+  EXPECT_NEAR(pts[0].y, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace laacad::geom

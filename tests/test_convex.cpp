@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/convex.hpp"
+
+namespace laacad::geom {
+namespace {
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {1, 1},   {0, 1},
+                           {0.5, 0.5}, {0.2, 0.7}, {0.9, 0.1}};
+  Ring hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(area(hull), 1.0, 1e-12);
+  EXPECT_TRUE(is_convex(hull));
+}
+
+TEST(ConvexHull, CollinearInputCollapses) {
+  Ring hull = convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_LT(hull.size(), 3u);
+}
+
+TEST(ConvexHull, AllHullPointsPresent) {
+  laacad::Rng rng(7);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  Ring hull = convex_hull(pts);
+  EXPECT_TRUE(is_convex(hull));
+  // Every input point must be inside the hull.
+  for (Vec2 p : pts) EXPECT_TRUE(contains_point(hull, p, 1e-7));
+}
+
+TEST(IsConvex, DetectsConcavity) {
+  Ring l = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  EXPECT_FALSE(is_convex(l));
+  Ring tri = {{0, 0}, {2, 0}, {1, 2}};
+  EXPECT_TRUE(is_convex(tri));
+}
+
+TEST(IsConvex, ToleratesCollinearVertices) {
+  Ring sq = {{0, 0}, {0.5, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_TRUE(is_convex(sq));
+}
+
+TEST(IntersectHalfplanes, CornerOfSquare) {
+  Ring start = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  std::vector<HalfPlane> hps = {
+      {{2, 0}, {1, 0}},  // x <= 2
+      {{0, 2}, {0, 1}},  // y <= 2
+  };
+  Ring cell = intersect_halfplanes(start, hps);
+  EXPECT_NEAR(area(cell), 4.0, 1e-12);
+  EXPECT_TRUE(is_convex(cell));
+}
+
+TEST(IntersectHalfplanes, EmptyIntersection) {
+  Ring start = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  std::vector<HalfPlane> hps = {
+      {{1, 0}, {1, 0}},    // x <= 1
+      {{3, 0}, {-1, 0}},   // x >= 3
+  };
+  EXPECT_TRUE(intersect_halfplanes(start, hps).empty());
+}
+
+TEST(Bisector, KeepsCloserSide) {
+  HalfPlane hp = bisector_halfplane({0, 0}, {2, 0});
+  EXPECT_TRUE(hp.contains({0.5, 3.0}));
+  EXPECT_FALSE(hp.contains({1.5, -4.0}));
+  // Midpoint is on the boundary.
+  EXPECT_NEAR(hp.signed_dist({1.0, 7.0}), 0.0, 1e-12);
+}
+
+TEST(Bisector, SignedDistIsMetric) {
+  HalfPlane hp = bisector_halfplane({0, 0}, {2, 0});
+  EXPECT_NEAR(hp.signed_dist({3.0, 0.0}), 2.0, 1e-12);
+  EXPECT_NEAR(hp.signed_dist({-1.0, 0.0}), -2.0, 1e-12);
+}
+
+TEST(HalfPlane, TangentPerpendicularToNormal) {
+  HalfPlane hp{{0, 0}, Vec2{1, 2}.normalized()};
+  EXPECT_NEAR(dot(hp.normal, hp.tangent()), 0.0, 1e-15);
+}
+
+// Property sweep: intersect-halfplanes output is always convex and contained
+// in every generating half-plane.
+class HalfplaneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfplaneProperty, OutputConvexAndContained) {
+  laacad::Rng rng(GetParam());
+  Ring start = {{-10, -10}, {10, -10}, {10, 10}, {-10, 10}};
+  std::vector<HalfPlane> hps;
+  for (int i = 0; i < 12; ++i) {
+    Vec2 a{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    Vec2 b{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    if (almost_equal(a, b)) continue;
+    hps.push_back(bisector_halfplane(a, b));
+  }
+  Ring cell = intersect_halfplanes(start, hps);
+  if (cell.empty()) return;
+  EXPECT_TRUE(is_convex(cell));
+  for (const HalfPlane& hp : hps)
+    for (Vec2 v : cell) EXPECT_LE(hp.signed_dist(v), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HalfplaneProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace laacad::geom

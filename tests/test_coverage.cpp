@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "wsn/deployment.hpp"
+
+namespace laacad::cov {
+namespace {
+
+using geom::Circle;
+using geom::Vec2;
+
+TEST(GridCoverage, SingleDiskCoversSmallDomain) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  std::vector<Circle> disks = {{{5, 5}, 8.0}};
+  GridReport rep = grid_coverage(d, disks, 0.5);
+  EXPECT_EQ(rep.min_depth, 1);
+  EXPECT_NEAR(rep.fraction_at_least(1), 1.0, 1e-12);
+  EXPECT_NEAR(rep.fraction_at_least(2), 0.0, 1e-12);
+}
+
+TEST(GridCoverage, UncoveredCornerDetected) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  std::vector<Circle> disks = {{{0, 0}, 6.0}};
+  GridReport rep = grid_coverage(d, disks, 0.25);
+  EXPECT_EQ(rep.min_depth, 0);
+  // The reported worst point is genuinely uncovered.
+  EXPECT_GT(geom::dist(rep.worst_point, {0, 0}), 6.0);
+  // Quarter disk of radius 6 covers pi*36/4 ~ 28.3% of the 10x10 square.
+  EXPECT_NEAR(rep.fraction_at_least(1), M_PI * 36.0 / 4.0 / 100.0, 0.02);
+}
+
+TEST(GridCoverage, DepthCountsOverlaps) {
+  wsn::Domain d = wsn::Domain::rectangle(4, 4);
+  std::vector<Circle> disks = {{{2, 2}, 5.0}, {{2, 2}, 5.0}, {{2, 2}, 5.0}};
+  GridReport rep = grid_coverage(d, disks, 0.5);
+  EXPECT_EQ(rep.min_depth, 3);
+  EXPECT_NEAR(rep.mean_depth, 3.0, 1e-12);
+}
+
+TEST(GridCoverage, HolesAreExcluded) {
+  wsn::Domain d =
+      wsn::Domain::rectangle(10, 10).with_rect_hole({4, 4}, {6, 6});
+  // Disk covering everything except the hole area is still "full" coverage.
+  std::vector<Circle> disks = {{{5, 5}, 9.0}};
+  GridReport rep = grid_coverage(d, disks, 0.2);
+  EXPECT_EQ(rep.min_depth, 1);
+}
+
+TEST(GridCoverage, EmptyDisks) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  GridReport rep = grid_coverage(d, {}, 1.0);
+  EXPECT_EQ(rep.min_depth, 0);
+  EXPECT_GT(rep.samples, 0u);
+}
+
+TEST(DepthAt, ClosedDiskSemantics) {
+  std::vector<Circle> disks = {{{0, 0}, 1.0}, {{2, 0}, 1.0}};
+  EXPECT_EQ(depth_at(disks, {1, 0}), 2);  // touching point counts for both
+  EXPECT_EQ(depth_at(disks, {0, 0}), 1);
+  EXPECT_EQ(depth_at(disks, {5, 5}), 0);
+}
+
+TEST(Critical, FullyCoveredDomain) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  std::vector<Circle> disks = {{{5, 5}, 8.0}};
+  ExactReport rep = critical_point_coverage(d, disks);
+  EXPECT_EQ(rep.min_depth, 1);
+  EXPECT_TRUE(is_k_covered(d, disks, 1));
+  EXPECT_FALSE(is_k_covered(d, disks, 2));
+}
+
+TEST(Critical, DetectsPinholeGapBetweenDisks) {
+  // Three disks whose centers sit at distance 3 from the domain center with
+  // radius 2.95 cover the whole 3x3 square except a ~0.1 m curvilinear gap
+  // at the center — far below the 0.4 m grid resolution. The critical-point
+  // checker must still find depth 0 there.
+  wsn::Domain d = wsn::Domain::rectangle(3, 3);
+  const Vec2 c{1.5, 1.5};
+  const double dist_out = 3.0, r = 2.95;
+  std::vector<Circle> disks;
+  for (double ang : {M_PI / 2, M_PI * 7 / 6, M_PI * 11 / 6}) {
+    disks.push_back({c + Vec2{std::cos(ang), std::sin(ang)} * dist_out, r});
+  }
+  ASSERT_EQ(depth_at(disks, c), 0);  // pinhole exists
+  const GridReport grid = grid_coverage(d, disks, 0.4);
+  EXPECT_GE(grid.min_depth, 1) << "gap should be sub-resolution";
+  ExactReport rep = critical_point_coverage(d, disks);
+  EXPECT_EQ(rep.min_depth, 0);
+  EXPECT_NEAR(rep.witness.x, c.x, 0.3);
+  EXPECT_NEAR(rep.witness.y, c.y, 0.3);
+}
+
+TEST(Critical, AgreesWithGridOnRandomConfigs) {
+  laacad::Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    wsn::Domain d = wsn::Domain::rectangle(50, 50);
+    std::vector<Circle> disks;
+    const int n = 8 + rng.uniform_int(0, 15);
+    for (int i = 0; i < n; ++i) {
+      disks.push_back({{rng.uniform(0, 50), rng.uniform(0, 50)},
+                       rng.uniform(6, 16)});
+    }
+    const ExactReport exact = critical_point_coverage(d, disks);
+    const GridReport grid = grid_coverage(d, disks, 0.4);
+    // The exact minimum is never above the sampled minimum, and the two
+    // agree unless a sub-resolution face hides from the grid.
+    EXPECT_LE(exact.min_depth, grid.min_depth);
+    EXPECT_GE(exact.min_depth, grid.min_depth - 1);
+  }
+}
+
+TEST(Critical, DomainWithHoleStillVerifies) {
+  wsn::Domain d =
+      wsn::Domain::rectangle(20, 20).with_rect_hole({8, 8}, {12, 12});
+  std::vector<Circle> disks = {
+      {{5, 5}, 9.0}, {{15, 5}, 9.0}, {{5, 15}, 9.0}, {{15, 15}, 9.0}};
+  ExactReport rep = critical_point_coverage(d, disks);
+  EXPECT_GE(rep.min_depth, 1);
+}
+
+TEST(Critical, KCoverageOfStackedDisks) {
+  wsn::Domain d = wsn::Domain::rectangle(6, 6);
+  std::vector<Circle> disks;
+  for (int i = 0; i < 4; ++i) disks.push_back({{3, 3}, 6.0});
+  EXPECT_TRUE(is_k_covered(d, disks, 4));
+  EXPECT_FALSE(is_k_covered(d, disks, 5));
+}
+
+TEST(Critical, NetworkHelperExtractsDisks) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  wsn::Network net(&d, {{2, 2}, {8, 8}}, 5.0);
+  net.set_sensing_range(0, 1.0);
+  net.set_sensing_range(1, 2.0);
+  auto disks = sensing_disks(net);
+  ASSERT_EQ(disks.size(), 2u);
+  EXPECT_DOUBLE_EQ(disks[0].radius, 1.0);
+  EXPECT_DOUBLE_EQ(disks[1].radius, 2.0);
+}
+
+}  // namespace
+}  // namespace laacad::cov

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "wsn/domain.hpp"
+
+namespace laacad::wsn {
+namespace {
+
+using geom::Ring;
+using geom::Vec2;
+
+TEST(Domain, RectangleBasics) {
+  Domain d = Domain::rectangle(100, 50);
+  EXPECT_NEAR(d.area(), 5000.0, 1e-9);
+  EXPECT_TRUE(d.contains({50, 25}));
+  EXPECT_FALSE(d.contains({101, 25}));
+  EXPECT_TRUE(d.contains({0, 0}));  // boundary is inside
+  EXPECT_NEAR(d.dist_to_boundary({50, 25}), 25.0, 1e-9);
+}
+
+TEST(Domain, SquareKm) {
+  Domain d = Domain::square_km();
+  EXPECT_NEAR(d.area(), 1e6, 1e-3);
+}
+
+TEST(Domain, LShapeContainment) {
+  Domain d = Domain::lshape(100, 100);
+  EXPECT_NEAR(d.area(), 7500.0, 1e-9);
+  EXPECT_TRUE(d.contains({25, 75}));   // upper-left arm
+  EXPECT_TRUE(d.contains({75, 25}));   // lower-right arm
+  EXPECT_FALSE(d.contains({75, 75}));  // removed quadrant
+}
+
+TEST(Domain, CrossShape) {
+  Domain d = Domain::cross(90, 90);
+  EXPECT_TRUE(d.contains({45, 45}));  // center
+  EXPECT_TRUE(d.contains({45, 5}));   // vertical arm
+  EXPECT_TRUE(d.contains({5, 45}));   // horizontal arm
+  EXPECT_FALSE(d.contains({5, 5}));   // corner cut away
+  // Area: cross = 2 arms - center overlap = 2*(30*90) - 30*30.
+  EXPECT_NEAR(d.area(), 2 * 30 * 90 - 30 * 30, 1e-6);
+}
+
+TEST(Domain, HoleBlocksContainment) {
+  Domain d = Domain::rectangle(100, 100).with_rect_hole({40, 40}, {60, 60});
+  EXPECT_NEAR(d.area(), 10000.0 - 400.0, 1e-9);
+  EXPECT_FALSE(d.contains({50, 50}));
+  EXPECT_TRUE(d.contains({10, 10}));
+  // Just outside the hole is fine.
+  EXPECT_TRUE(d.contains({39.9, 50}));
+}
+
+TEST(Domain, ProjectInsideFromOutside) {
+  Domain d = Domain::rectangle(100, 100);
+  Vec2 p = d.project_inside({150, 50});
+  EXPECT_TRUE(d.contains(p));
+  EXPECT_NEAR(p.x, 100.0, 1e-3);
+  EXPECT_NEAR(p.y, 50.0, 1e-6);
+}
+
+TEST(Domain, ProjectInsideFromHole) {
+  Domain d = Domain::rectangle(100, 100).with_rect_hole({40, 40}, {60, 60});
+  Vec2 p = d.project_inside({50, 41});
+  EXPECT_TRUE(d.contains(p));
+  // Should exit through the nearest hole wall (y = 40).
+  EXPECT_LT(p.y, 40.01);
+}
+
+TEST(Domain, ProjectInsideIdempotentForFeasible) {
+  Domain d = Domain::rectangle(100, 100);
+  const Vec2 p{12.5, 34.0};
+  EXPECT_EQ(d.project_inside(p), p);
+}
+
+TEST(Domain, ClipCellInside) {
+  Domain d = Domain::rectangle(100, 100);
+  Ring cell = {{10, 10}, {30, 10}, {30, 30}, {10, 30}};
+  ClippedRegion r = d.clip_cell(cell);
+  ASSERT_FALSE(r.empty());
+  EXPECT_NEAR(r.coverage_area(), 400.0, 1e-9);
+}
+
+TEST(Domain, ClipCellStraddlingBoundary) {
+  Domain d = Domain::rectangle(100, 100);
+  Ring cell = {{-10, -10}, {30, -10}, {30, 30}, {-10, 30}};
+  ClippedRegion r = d.clip_cell(cell);
+  ASSERT_FALSE(r.empty());
+  EXPECT_NEAR(r.coverage_area(), 900.0, 1e-9);
+}
+
+TEST(Domain, ClipCellWithHoleOverlap) {
+  Domain d = Domain::rectangle(100, 100).with_rect_hole({40, 40}, {60, 60});
+  Ring cell = {{35, 35}, {65, 35}, {65, 65}, {35, 65}};
+  ClippedRegion r = d.clip_cell(cell);
+  ASSERT_FALSE(r.empty());
+  // 30x30 cell minus the 20x20 hole.
+  EXPECT_NEAR(r.coverage_area(), 900.0 - 400.0, 1e-9);
+  EXPECT_EQ(r.hole_parts.size(), 1u);
+}
+
+TEST(Domain, ClipCellDisjoint) {
+  Domain d = Domain::rectangle(100, 100);
+  Ring cell = {{200, 200}, {210, 200}, {210, 210}, {200, 210}};
+  EXPECT_TRUE(d.clip_cell(cell).empty());
+}
+
+TEST(Domain, SampleUniformStaysInside) {
+  Domain d = Domain::lshape(100, 100).with_rect_hole({10, 10}, {20, 20});
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(d.contains(d.sample_uniform(rng)));
+  }
+}
+
+}  // namespace
+}  // namespace laacad::wsn

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "laacad/engine.hpp"
+#include "wsn/deployment.hpp"
+
+namespace laacad::core {
+namespace {
+
+using geom::Vec2;
+
+LaacadConfig quick_config(int k, double alpha = 1.0) {
+  LaacadConfig cfg;
+  cfg.k = k;
+  cfg.alpha = alpha;
+  cfg.epsilon = 0.5;
+  cfg.max_rounds = 250;
+  return cfg;
+}
+
+TEST(Engine, RejectsBadArguments) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  wsn::Network net(&d, {{10, 10}, {20, 20}}, 20.0);
+  LaacadConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.k = 5;  // more than nodes
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.k = 1;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.alpha = 1.5;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+}
+
+TEST(Engine, SingleNodeK1MovesToDomainChebyshevCenter) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 60);
+  wsn::Network net(&d, {{5, 5}}, 20.0);
+  Engine engine(net, quick_config(1));
+  RunResult res = engine.run();
+  EXPECT_TRUE(res.converged);
+  // Chebyshev center of a rectangle is its center; circumradius is the
+  // half-diagonal.
+  EXPECT_NEAR(net.position(0).x, 50.0, 1.0);
+  EXPECT_NEAR(net.position(0).y, 30.0, 1.0);
+  EXPECT_NEAR(res.final_max_range, std::hypot(50.0, 30.0), 1.0);
+}
+
+TEST(Engine, ThreeNodesK3CoLocateAtCenter) {
+  // The paper's motivating example: 3 nodes 3-covering an area co-locate.
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  wsn::Network net(&d, {{10, 10}, {90, 20}, {40, 80}}, 30.0);
+  Engine engine(net, quick_config(3));
+  RunResult res = engine.run();
+  EXPECT_TRUE(res.converged);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(net.position(i).x, 50.0, 2.0);
+    EXPECT_NEAR(net.position(i).y, 50.0, 2.0);
+  }
+  EXPECT_NEAR(res.final_max_range, std::hypot(50.0, 50.0), 2.0);
+}
+
+struct EngineCase {
+  int k;
+  int n;
+  int seed;
+};
+
+class EngineConvergence : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineConvergence, ConvergesAndKCovers) {
+  const auto param = GetParam();
+  wsn::Domain d = wsn::Domain::rectangle(300, 300);
+  Rng rng(static_cast<std::uint64_t>(param.seed));
+  wsn::Network net(&d, wsn::deploy_uniform(d, param.n, rng), 60.0);
+  Engine engine(net, quick_config(param.k));
+  RunResult res = engine.run();
+  EXPECT_TRUE(res.converged) << "did not converge in 250 rounds";
+
+  // Exact k-coverage of the whole domain at the assigned ranges.
+  const auto exact =
+      cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, param.k)
+      << "witness at (" << exact.witness.x << ", " << exact.witness.y << ")";
+
+  // Ranges are meaningful: max >= min > 0.
+  EXPECT_GT(res.final_min_range, 0.0);
+  EXPECT_GE(res.final_max_range, res.final_min_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineConvergence,
+    ::testing::Values(EngineCase{1, 25, 1}, EngineCase{2, 30, 2},
+                      EngineCase{3, 30, 3}, EngineCase{4, 36, 4},
+                      EngineCase{2, 50, 5}, EngineCase{1, 40, 6}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return "k" + std::to_string(info.param.k) + "_n" +
+             std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Engine, MaxHatRadiusNonIncreasingForAlphaOne) {
+  // Corollary of Proposition 4: R̂ is non-increasing along the iteration.
+  wsn::Domain d = wsn::Domain::rectangle(300, 300);
+  Rng rng(7);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 35, rng), 60.0);
+  Engine engine(net, quick_config(2, 1.0));
+  RunResult res = engine.run();
+  ASSERT_GE(res.history.size(), 2u);
+  for (std::size_t i = 1; i < res.history.size(); ++i) {
+    EXPECT_LE(res.history[i].max_hat_radius,
+              res.history[i - 1].max_hat_radius + 1e-6)
+        << "round " << i;
+  }
+}
+
+TEST(Engine, SmallAlphaConvergesSlowerButConverges) {
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(8);
+  const auto init = wsn::deploy_uniform(d, 20, rng);
+
+  wsn::Network fast(&d, init, 60.0);
+  RunResult res_fast = Engine(fast, quick_config(2, 1.0)).run();
+
+  wsn::Network slow(&d, init, 60.0);
+  RunResult res_slow = Engine(slow, quick_config(2, 0.3)).run();
+
+  EXPECT_TRUE(res_fast.converged);
+  EXPECT_TRUE(res_slow.converged);
+  EXPECT_GE(res_slow.rounds, res_fast.rounds);
+  // Both land on deployments of comparable quality.
+  EXPECT_NEAR(res_slow.final_max_range, res_fast.final_max_range,
+              0.35 * res_fast.final_max_range);
+}
+
+TEST(Engine, CornerDeploymentExpandsOverArea) {
+  wsn::Domain d = wsn::Domain::rectangle(400, 400);
+  Rng rng(9);
+  wsn::Network net(&d, wsn::deploy_corner(d, 30, rng), 80.0);
+  // All nodes start in the corner 48x48 box.
+  for (const auto& n : net.nodes()) {
+    EXPECT_LE(n.pos.x, 48.1);
+    EXPECT_LE(n.pos.y, 48.1);
+  }
+  Engine engine(net, quick_config(1));
+  RunResult res = engine.run();
+  EXPECT_TRUE(res.converged);
+  // Spread: some node should end far from the corner.
+  double max_reach = 0.0;
+  for (const auto& n : net.nodes())
+    max_reach = std::max(max_reach, n.pos.norm());
+  EXPECT_GT(max_reach, 300.0);
+  const auto exact = cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, 1);
+}
+
+TEST(Engine, LoadBalancedForK3) {
+  // Sec. V-A: "the maximum and minimum sensing ranges are almost the same
+  // for k > 2". Assert a loose version: min/max >= 0.5.
+  wsn::Domain d = wsn::Domain::rectangle(300, 300);
+  Rng rng(10);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 33, rng), 60.0);
+  RunResult res = Engine(net, quick_config(3)).run();
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.final_min_range / res.final_max_range, 0.5);
+  EXPECT_GT(res.load.fairness, 0.8);
+}
+
+TEST(Engine, ObstacleDomainConvergesAndCovers) {
+  wsn::Domain d =
+      wsn::Domain::rectangle(300, 300).with_rect_hole({120, 120}, {180, 180});
+  Rng rng(11);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 30, rng), 60.0);
+  RunResult res = Engine(net, quick_config(2)).run();
+  EXPECT_TRUE(res.converged);
+  // No node ended up inside the obstacle.
+  for (const auto& n : net.nodes()) EXPECT_TRUE(d.contains(n.pos));
+  const auto exact = cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, 2);
+}
+
+TEST(Engine, RegionOfContainsOwnNode) {
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(12);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 15, rng), 60.0);
+  Engine engine(net, quick_config(2));
+  engine.step();
+  for (int i = 0; i < net.size(); ++i) {
+    DominatingRegion region = engine.region_of(i);
+    ASSERT_FALSE(region.empty());
+    EXPECT_TRUE(region.contains(net.position(i), 1e-6)) << "node " << i;
+  }
+}
+
+TEST(Engine, RegionAreasSumToKTimesDomain) {
+  // Every point of A lies in exactly k dominating regions (its k nearest
+  // nodes), so the areas sum to k |A|.
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(13);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 20, rng), 60.0);
+  for (int k : {1, 2, 3}) {
+    Engine engine(net, quick_config(k));
+    double total = 0.0;
+    for (int i = 0; i < net.size(); ++i) total += engine.region_of(i).area();
+    EXPECT_NEAR(total, k * d.area(), 0.01 * d.area()) << "k=" << k;
+  }
+}
+
+TEST(Engine, HistoryRecordsRounds) {
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(14);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 12, rng), 60.0);
+  Engine engine(net, quick_config(1));
+  RunResult res = engine.run();
+  ASSERT_FALSE(res.history.empty());
+  EXPECT_EQ(res.history.front().round, 1);
+  EXPECT_EQ(res.history.back().round, res.rounds);
+  // Last round has no movement (that is the convergence signal).
+  EXPECT_EQ(res.history.back().moved, 0);
+}
+
+}  // namespace
+}  // namespace laacad::core

@@ -1,0 +1,113 @@
+// Cross-cutting randomized property sweeps over the geometry substrate —
+// the invariants every higher layer silently relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/circle.hpp"
+#include "geometry/convex.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/welzl.hpp"
+
+namespace laacad::geom {
+namespace {
+
+Ring random_convex(laacad::Rng& rng, int n, double scale) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0, scale), rng.uniform(0, scale)});
+  return convex_hull(pts);
+}
+
+class GeomSweep : public ::testing::TestWithParam<int> {
+ protected:
+  laacad::Rng rng_{static_cast<std::uint64_t>(2000 + GetParam())};
+};
+
+TEST_P(GeomSweep, ClipNeverGrowsAreaAndStaysInside) {
+  Ring poly = random_convex(rng_, 12, 100.0);
+  if (poly.size() < 3) GTEST_SKIP();
+  const double a0 = area(poly);
+  for (int t = 0; t < 10; ++t) {
+    Vec2 p{rng_.uniform(0, 100), rng_.uniform(0, 100)};
+    Vec2 q{rng_.uniform(0, 100), rng_.uniform(0, 100)};
+    if (almost_equal(p, q)) continue;
+    const HalfPlane hp = bisector_halfplane(p, q);
+    Ring clipped = clip_ring(poly, hp);
+    EXPECT_LE(area(clipped), a0 + 1e-9);
+    for (Vec2 v : clipped) EXPECT_LE(hp.signed_dist(v), 1e-6);
+  }
+}
+
+TEST_P(GeomSweep, ClipAreasPartitionExactly) {
+  // Clipping by hp and by its complement splits the area exactly.
+  Ring poly = random_convex(rng_, 10, 50.0);
+  if (poly.size() < 3) GTEST_SKIP();
+  Vec2 p{rng_.uniform(0, 50), rng_.uniform(0, 50)};
+  Vec2 q{rng_.uniform(0, 50), rng_.uniform(0, 50)};
+  if (almost_equal(p, q)) GTEST_SKIP();
+  const HalfPlane hp = bisector_halfplane(p, q);
+  const HalfPlane opposite = bisector_halfplane(q, p);
+  const double a = area(clip_ring(poly, hp));
+  const double b = area(clip_ring(poly, opposite));
+  EXPECT_NEAR(a + b, area(poly), 1e-6);
+}
+
+TEST_P(GeomSweep, SutherlandHodgmanCommutesOnConvex) {
+  Ring a = random_convex(rng_, 8, 80.0);
+  Ring b = random_convex(rng_, 8, 80.0);
+  if (a.size() < 3 || b.size() < 3) GTEST_SKIP();
+  const double ab = area(sutherland_hodgman(a, b));
+  const double ba = area(sutherland_hodgman(b, a));
+  EXPECT_NEAR(ab, ba, 1e-6 * (1.0 + ab));
+  EXPECT_LE(ab, std::min(area(a), area(b)) + 1e-6);
+}
+
+TEST_P(GeomSweep, WelzlRadiusNeverBelowPairwiseHalfDistance) {
+  std::vector<Vec2> pts;
+  const int n = 4 + rng_.uniform_int(0, 30);
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng_.uniform(-50, 50), rng_.uniform(-50, 50)});
+  const Circle mec = min_enclosing_circle(pts);
+  double maxpair = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      maxpair = std::max(maxpair, dist(pts[i], pts[j]));
+  EXPECT_GE(mec.radius, maxpair / 2.0 - 1e-6);
+  EXPECT_LE(mec.radius, maxpair + 1e-6);  // crude upper bound
+}
+
+TEST_P(GeomSweep, CentroidInsideConvexPolygon) {
+  Ring poly = random_convex(rng_, 9, 60.0);
+  if (poly.size() < 3) GTEST_SKIP();
+  EXPECT_TRUE(contains_point(poly, centroid(poly), 1e-6));
+}
+
+TEST_P(GeomSweep, ProjectToBoundaryIsOnBoundary) {
+  Ring poly = random_convex(rng_, 7, 60.0);
+  if (poly.size() < 3) GTEST_SKIP();
+  for (int t = 0; t < 10; ++t) {
+    Vec2 p{rng_.uniform(-30, 90), rng_.uniform(-30, 90)};
+    const Vec2 proj = project_to_boundary(poly, p);
+    EXPECT_NEAR(dist_to_boundary(poly, proj), 0.0, 1e-9);
+    // Projection is the nearest boundary point.
+    EXPECT_NEAR(dist(p, proj), dist_to_boundary(poly, p), 1e-9);
+  }
+}
+
+TEST_P(GeomSweep, CircleCircleIntersectionsOnBothCircles) {
+  for (int t = 0; t < 10; ++t) {
+    Circle a{{rng_.uniform(0, 20), rng_.uniform(0, 20)},
+             rng_.uniform(1, 10)};
+    Circle b{{rng_.uniform(0, 20), rng_.uniform(0, 20)},
+             rng_.uniform(1, 10)};
+    for (Vec2 p : circle_circle_intersections(a, b)) {
+      EXPECT_NEAR(dist(p, a.center), a.radius, 1e-6);
+      EXPECT_NEAR(dist(p, b.center), b.radius, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace laacad::geom

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "coverage/critical.hpp"
+#include "laacad/min_node.hpp"
+#include "wsn/deployment.hpp"
+
+namespace laacad::core {
+namespace {
+
+MinNodeConfig quick_planner() {
+  MinNodeConfig cfg;
+  cfg.max_outer_iters = 25;
+  cfg.laacad.alpha = 1.0;
+  cfg.laacad.epsilon = 1.0;
+  cfg.laacad.max_rounds = 120;
+  return cfg;
+}
+
+TEST(MinNode, FindsFeasibleDeploymentK1) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  Rng rng(81);
+  const double rs = 25.0;
+  MinNodeResult res = plan_min_nodes(d, 1, rs, /*initial_n=*/-1, rng,
+                                     quick_planner());
+  ASSERT_TRUE(res.feasible);
+  EXPECT_LE(res.achieved_range, rs + 1e-9);
+  EXPECT_GE(res.nodes, 4);   // crude lower bound: |A|/(pi rs^2) ~ 5.1
+  EXPECT_LE(res.nodes, 14);  // should not be wildly above optimal
+
+  // Verify the accepted deployment really 1-covers at range rs.
+  std::vector<geom::Circle> disks;
+  for (geom::Vec2 p : res.positions) disks.push_back({p, rs});
+  EXPECT_TRUE(cov::is_k_covered(d, disks, 1));
+}
+
+TEST(MinNode, FindsFeasibleDeploymentK2) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  Rng rng(82);
+  const double rs = 30.0;
+  MinNodeResult res = plan_min_nodes(d, 2, rs, -1, rng, quick_planner());
+  ASSERT_TRUE(res.feasible);
+  EXPECT_LE(res.achieved_range, rs + 1e-9);
+  std::vector<geom::Circle> disks;
+  for (geom::Vec2 p : res.positions) disks.push_back({p, rs});
+  EXPECT_TRUE(cov::is_k_covered(d, disks, 2));
+  // k-coverage with k=2 needs at least ~2x the 1-coverage population.
+  EXPECT_GE(res.nodes, 7);
+}
+
+TEST(MinNode, InfeasibleStartGrowsPopulation) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  Rng rng(83);
+  // Start with far too few nodes; the planner must add until feasible.
+  MinNodeResult res =
+      plan_min_nodes(d, 1, 30.0, /*initial_n=*/2, rng, quick_planner());
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GT(res.nodes, 2);
+  EXPECT_GE(res.laacad_runs, 2);
+}
+
+TEST(MinNode, RespectsMinimumOfKNodes) {
+  wsn::Domain d = wsn::Domain::rectangle(20, 20);
+  Rng rng(84);
+  // Huge sensing range: k nodes co-located at the center suffice.
+  MinNodeResult res = plan_min_nodes(d, 3, 50.0, -1, rng, quick_planner());
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.nodes, 3);
+}
+
+}  // namespace
+}  // namespace laacad::core

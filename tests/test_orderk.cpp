@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "geometry/convex.hpp"
+#include "voronoi/orderk.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::vor {
+namespace {
+
+using geom::Ring;
+using geom::Vec2;
+
+Ring window100() { return {{0, 0}, {100, 0}, {100, 100}, {0, 100}}; }
+
+// Membership oracle from Proposition 1.
+bool in_region_brute(const std::vector<Vec2>& sites, int i, int k, Vec2 v) {
+  return closer_count(sites, i, v) <= k - 1;
+}
+
+bool in_cells(const std::vector<OrderKCell>& cells, Vec2 v, double eps) {
+  for (const auto& c : cells)
+    if (geom::contains_point(c.poly, v, eps)) return true;
+  return false;
+}
+
+// ------------------------------------------------------------- helpers ----
+
+TEST(Sites, SeparateSitesPushesApartCoincident) {
+  std::vector<Vec2> pts = {{10, 10}, {10, 10}, {10 + 1e-12, 10}, {50, 50}};
+  auto sep = separate_sites(pts);
+  for (std::size_t a = 0; a < sep.size(); ++a)
+    for (std::size_t b = a + 1; b < sep.size(); ++b)
+      EXPECT_GE(geom::dist(sep[a], sep[b]), kMinSiteSeparation * 0.9);
+  // Far points untouched.
+  EXPECT_EQ(sep[3], Vec2(50, 50));
+}
+
+TEST(Sites, KNearestBrute) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  auto kn = k_nearest_brute(pts, {0.1, 0}, 2);
+  EXPECT_EQ(kn, (std::vector<int>{0, 1}));
+}
+
+TEST(Sites, CloserCount) {
+  std::vector<Vec2> pts = {{0, 0}, {10, 0}, {20, 0}};
+  EXPECT_EQ(closer_count(pts, 2, {0, 0}), 2);
+  EXPECT_EQ(closer_count(pts, 0, {0, 0}), 0);
+  EXPECT_EQ(closer_count(pts, 1, {9, 0}), 0);
+}
+
+// ------------------------------------------------------- order-1 cells ----
+
+TEST(Order1, TwoSitesSplitWindow) {
+  std::vector<Vec2> sites = {{25, 50}, {75, 50}};
+  Ring c0 = order_1_cell(sites, 0, window100());
+  Ring c1 = order_1_cell(sites, 1, window100());
+  EXPECT_NEAR(geom::area(c0), 5000.0, 1e-6);
+  EXPECT_NEAR(geom::area(c1), 5000.0, 1e-6);
+  EXPECT_TRUE(geom::contains_point(c0, {10, 50}));
+  EXPECT_FALSE(geom::contains_point(c0, {90, 50}));
+}
+
+TEST(Order1, SingleSiteOwnsWindow) {
+  std::vector<Vec2> sites = {{50, 50}};
+  Ring c = order_1_cell(sites, 0, window100());
+  EXPECT_NEAR(geom::area(c), 10000.0, 1e-6);
+}
+
+TEST(Order1, CellsPartitionWindow) {
+  laacad::Rng rng(21);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 25; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  double total = 0.0;
+  for (int i = 0; i < 25; ++i)
+    total += geom::area(order_1_cell(sites, i, window100()));
+  EXPECT_NEAR(total, 10000.0, 1e-3);
+}
+
+// ----------------------------------------------- dominating regions -------
+
+TEST(DominatingRegion, K2TwoSitesIsWholeWindow) {
+  // With only two sites and k = 2, every point is dominated by both.
+  std::vector<Vec2> sites = {{25, 50}, {75, 50}};
+  auto cells = dominating_region_cells(sites, 0, 2, window100());
+  double total = 0.0;
+  for (const auto& c : cells) total += c.area();
+  EXPECT_NEAR(total, 10000.0, 1e-6);
+}
+
+TEST(DominatingRegion, ContainsOwnSite) {
+  laacad::Rng rng(31);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 20; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  for (int k = 1; k <= 4; ++k) {
+    auto cells = dominating_region_cells(sites, 7, k, window100());
+    EXPECT_TRUE(in_cells(cells, sites[7], 1e-6)) << "k=" << k;
+  }
+}
+
+TEST(DominatingRegion, GrowsWithK) {
+  laacad::Rng rng(32);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 20; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  double prev = 0.0;
+  for (int k = 1; k <= 5; ++k) {
+    auto cells = dominating_region_cells(sites, 3, k, window100());
+    double a = 0.0;
+    for (const auto& c : cells) a += c.area();
+    EXPECT_GT(a, prev - 1e-9) << "k=" << k;
+    prev = a;
+  }
+}
+
+TEST(DominatingRegion, CellsAreConvexAndCarryGeneratorI) {
+  laacad::Rng rng(33);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 30; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  auto cells = dominating_region_cells(sites, 11, 3, window100());
+  ASSERT_FALSE(cells.empty());
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.gens.size(), 3u);
+    EXPECT_TRUE(std::binary_search(c.gens.begin(), c.gens.end(), 11));
+    EXPECT_TRUE(geom::is_convex(c.poly)) << "cell with " << c.poly.size()
+                                         << " vertices";
+  }
+}
+
+// The heart of the construction: BFS output must match the Prop.-1
+// membership oracle at random sample points, for many k and seeds.
+struct RegionCase {
+  int seed;
+  int k;
+};
+
+class RegionProperty : public ::testing::TestWithParam<RegionCase> {};
+
+TEST_P(RegionProperty, MatchesBruteForceMembership) {
+  const auto param = GetParam();
+  laacad::Rng rng(param.seed);
+  std::vector<Vec2> sites;
+  const int n = 12 + rng.uniform_int(0, 20);
+  for (int i = 0; i < n; ++i)
+    sites.push_back({rng.uniform(2, 98), rng.uniform(2, 98)});
+  sites = separate_sites(sites);
+  const int i = rng.uniform_int(0, n - 1);
+
+  auto cells = dominating_region_cells(sites, i, param.k, window100());
+
+  int checked = 0;
+  for (int t = 0; t < 600; ++t) {
+    const Vec2 v{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const bool brute = in_region_brute(sites, i, param.k, v);
+    const bool poly = in_cells(cells, v, 1e-6);
+    // Skip points too close to any bisector boundary (ties).
+    const double di = geom::dist(sites[static_cast<size_t>(i)], v);
+    bool near_tie = false;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (std::abs(geom::dist(sites[static_cast<size_t>(j)], v) - di) < 1e-4)
+        near_tie = true;
+    }
+    if (near_tie) continue;
+    ++checked;
+    EXPECT_EQ(brute, poly) << "at " << v.x << "," << v.y << " i=" << i
+                           << " k=" << param.k << " n=" << n;
+  }
+  EXPECT_GT(checked, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegionProperty,
+    ::testing::Values(RegionCase{1, 1}, RegionCase{2, 1}, RegionCase{3, 2},
+                      RegionCase{4, 2}, RegionCase{5, 3}, RegionCase{6, 3},
+                      RegionCase{7, 4}, RegionCase{8, 4}, RegionCase{9, 5},
+                      RegionCase{10, 6}, RegionCase{11, 8}, RegionCase{12, 2},
+                      RegionCase{13, 3}, RegionCase{14, 5}, RegionCase{15, 7}),
+    [](const ::testing::TestParamInfo<RegionCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+// Star-shapedness (the property the BFS correctness rests on): along the
+// segment from u_i to any region point, membership never flips off.
+class StarShapedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarShapedProperty, MembershipMonotoneAlongRays) {
+  laacad::Rng rng(500 + GetParam());
+  std::vector<Vec2> sites;
+  const int n = 15;
+  for (int i = 0; i < n; ++i)
+    sites.push_back({rng.uniform(2, 98), rng.uniform(2, 98)});
+  const int i = rng.uniform_int(0, n - 1);
+  const int k = 1 + rng.uniform_int(0, 4);
+  const Vec2 ui = sites[static_cast<size_t>(i)];
+  for (int t = 0; t < 300; ++t) {
+    const Vec2 v{rng.uniform(0, 100), rng.uniform(0, 100)};
+    if (!in_region_brute(sites, i, k, v)) continue;
+    // All interpolants toward u_i stay in the region.
+    for (double s : {0.2, 0.5, 0.8}) {
+      EXPECT_TRUE(in_region_brute(sites, i, k, geom::lerp(ui, v, s)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StarShapedProperty, ::testing::Range(0, 10));
+
+// -------------------------------------------- full-diagram enumeration ----
+
+TEST(EnumerateCells, PartitionOfWindow) {
+  laacad::Rng rng(41);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 15; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  for (int k = 1; k <= 4; ++k) {
+    auto cells = enumerate_order_k_cells(sites, k, window100());
+    double total = 0.0;
+    std::set<std::vector<int>> unique_gens;
+    for (const auto& c : cells) {
+      total += c.area();
+      EXPECT_TRUE(unique_gens.insert(c.gens).second) << "duplicate cell";
+    }
+    EXPECT_NEAR(total, 10000.0, 1.0) << "k=" << k;
+  }
+}
+
+TEST(EnumerateCells, CountMatchesTheoryBound) {
+  // Number of order-k cells is O(k(N-k)) (Lee 1982); for small point sets
+  // the count must sit between N choose-free lower bounds and that bound.
+  laacad::Rng rng(42);
+  std::vector<Vec2> sites;
+  const int n = 12;
+  for (int i = 0; i < n; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  for (int k = 1; k <= 4; ++k) {
+    auto cells = enumerate_order_k_cells(sites, k, window100());
+    EXPECT_GE(static_cast<int>(cells.size()), n - k);
+    EXPECT_LE(static_cast<int>(cells.size()), 6 * k * (n - k) + 8);
+  }
+}
+
+TEST(EnumerateCells, Order1CellCountEqualsSites) {
+  laacad::Rng rng(43);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 10; ++i)
+    sites.push_back({rng.uniform(10, 90), rng.uniform(10, 90)});
+  auto cells = enumerate_order_k_cells(sites, 1, window100());
+  EXPECT_EQ(cells.size(), 10u);
+}
+
+TEST(EnumerateCells, DominatingRegionIsUnionOfEnumerated) {
+  laacad::Rng rng(44);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 14; ++i)
+    sites.push_back({rng.uniform(5, 95), rng.uniform(5, 95)});
+  const int i = 4, k = 3;
+  auto all = enumerate_order_k_cells(sites, k, window100());
+  double expect = 0.0;
+  for (const auto& c : all)
+    if (std::binary_search(c.gens.begin(), c.gens.end(), i)) expect += c.area();
+  auto mine = dominating_region_cells(sites, i, k, window100());
+  double got = 0.0;
+  for (const auto& c : mine) got += c.area();
+  EXPECT_NEAR(got, expect, 1e-3);
+}
+
+}  // namespace
+}  // namespace laacad::vor

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.hpp"
+
+namespace laacad::geom {
+namespace {
+
+Ring unit_square() { return {{0, 0}, {1, 0}, {1, 1}, {0, 1}}; }
+
+TEST(Polygon, SignedAreaOrientation) {
+  Ring sq = unit_square();
+  EXPECT_NEAR(signed_area(sq), 1.0, 1e-12);
+  std::reverse(sq.begin(), sq.end());
+  EXPECT_NEAR(signed_area(sq), -1.0, 1e-12);
+  EXPECT_NEAR(area(sq), 1.0, 1e-12);
+}
+
+TEST(Polygon, MakeCcwFixesOrientation) {
+  Ring sq = unit_square();
+  std::reverse(sq.begin(), sq.end());
+  make_ccw(sq);
+  EXPECT_GT(signed_area(sq), 0.0);
+}
+
+TEST(Polygon, PerimeterSquare) {
+  EXPECT_NEAR(perimeter(unit_square()), 4.0, 1e-12);
+}
+
+TEST(Polygon, CentroidSquare) {
+  Vec2 c = centroid(unit_square());
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(Polygon, CentroidLShape) {
+  // L-shape: unit square plus a unit square to its right along the bottom.
+  Ring l = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  EXPECT_NEAR(area(l), 3.0, 1e-12);
+  Vec2 c = centroid(l);
+  // By symmetry about the diagonal y = x the centroid is on that line.
+  EXPECT_NEAR(c.x, c.y, 1e-12);
+}
+
+TEST(Polygon, BoundingBox) {
+  BBox b = bounding_box({{1, 2}, {-3, 5}, {0, -1}});
+  EXPECT_EQ(b.lo, Vec2(-3, -1));
+  EXPECT_EQ(b.hi, Vec2(1, 5));
+  EXPECT_DOUBLE_EQ(b.width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.height(), 6.0);
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_FALSE(b.contains({2, 0}));
+  BBox g = b.inflated(1.0);
+  EXPECT_TRUE(g.contains({2, 0}));
+}
+
+TEST(Polygon, ContainsPointSquare) {
+  Ring sq = unit_square();
+  EXPECT_TRUE(contains_point(sq, {0.5, 0.5}));
+  EXPECT_FALSE(contains_point(sq, {1.5, 0.5}));
+  EXPECT_FALSE(contains_point(sq, {-0.1, 0.5}));
+  // Boundary points count as inside.
+  EXPECT_TRUE(contains_point(sq, {1.0, 0.5}));
+  EXPECT_TRUE(contains_point(sq, {0.0, 0.0}));
+}
+
+TEST(Polygon, ContainsPointConcave) {
+  Ring l = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  EXPECT_TRUE(contains_point(l, {0.5, 1.5}));
+  EXPECT_TRUE(contains_point(l, {1.5, 0.5}));
+  EXPECT_FALSE(contains_point(l, {1.5, 1.5}));  // the notch
+}
+
+TEST(Polygon, DistToBoundaryAndProjection) {
+  Ring sq = unit_square();
+  EXPECT_NEAR(dist_to_boundary(sq, {0.5, 0.5}), 0.5, 1e-12);
+  EXPECT_NEAR(dist_to_boundary(sq, {2.0, 0.5}), 1.0, 1e-12);
+  Vec2 p = project_to_boundary(sq, {2.0, 0.5});
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.5, 1e-12);
+}
+
+TEST(Polygon, FarthestVertex) {
+  auto fv = farthest_vertex(unit_square(), {0, 0});
+  ASSERT_TRUE(fv.has_value());
+  EXPECT_EQ(fv->first, 2u);  // (1,1)
+  EXPECT_NEAR(fv->second, std::sqrt(2.0), 1e-12);
+  EXPECT_FALSE(farthest_vertex({}, {0, 0}).has_value());
+}
+
+TEST(ClipRing, HalfSquare) {
+  HalfPlane hp{{0.5, 0.0}, {1.0, 0.0}};  // keep x <= 0.5
+  Ring half = clip_ring(unit_square(), hp);
+  EXPECT_NEAR(area(half), 0.5, 1e-12);
+  for (Vec2 v : half) EXPECT_LE(v.x, 0.5 + 1e-9);
+}
+
+TEST(ClipRing, NoCutLeavesRingIntact) {
+  HalfPlane hp{{5.0, 0.0}, {1.0, 0.0}};  // keep x <= 5
+  Ring r = clip_ring(unit_square(), hp);
+  EXPECT_NEAR(area(r), 1.0, 1e-12);
+}
+
+TEST(ClipRing, FullCutEmpties) {
+  HalfPlane hp{{-1.0, 0.0}, {1.0, 0.0}};  // keep x <= -1
+  EXPECT_TRUE(clip_ring(unit_square(), hp).empty());
+}
+
+TEST(ClipRing, DiagonalCut) {
+  // Keep the side of x + y <= 1 (normal (1,1)/sqrt2 through (1,0)).
+  HalfPlane hp{{1.0, 0.0}, Vec2{1.0, 1.0}.normalized()};
+  Ring tri = clip_ring(unit_square(), hp);
+  EXPECT_NEAR(area(tri), 0.5, 1e-12);
+}
+
+TEST(SutherlandHodgman, SquareIntersection) {
+  Ring window = {{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}};
+  Ring out = sutherland_hodgman(unit_square(), window);
+  EXPECT_NEAR(area(out), 0.25, 1e-12);
+}
+
+TEST(SutherlandHodgman, ConcaveSubjectAreaIsCorrect) {
+  Ring l = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+  Ring window = {{0.5, 0.5}, {2.5, 0.5}, {2.5, 2.5}, {0.5, 2.5}};
+  Ring out = sutherland_hodgman(l, window);
+  // Intersection: L-shape cut at x,y >= 0.5 -> area 3 - (0.5*2 + 0.5*2 - .25)
+  // = pieces: [0.5,2]x[0.5,1] (1.5*0.5) + [0.5,1]x[1,2] (0.5*1) = 1.25.
+  EXPECT_NEAR(area(out), 1.25, 1e-9);
+}
+
+TEST(SutherlandHodgman, DisjointReturnsEmpty) {
+  Ring window = {{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  EXPECT_TRUE(sutherland_hodgman(unit_square(), window).empty());
+}
+
+TEST(DedupeRing, RemovesDuplicatesAndDegenerates) {
+  Ring r = {{0, 0}, {0, 0}, {1, 0}, {1, 0}, {1, 1}, {0, 0}};
+  Ring d = dedupe_ring(r);
+  EXPECT_EQ(d.size(), 3u);
+  // Fewer than three distinct vertices collapses to empty.
+  EXPECT_TRUE(dedupe_ring({{0, 0}, {1e-12, 0}, {0, 1e-12}}).empty());
+}
+
+TEST(Ngon, CircumscribedContainsCircle) {
+  const Vec2 c{3, 4};
+  const double r = 2.0;
+  Ring ngon = circumscribed_ngon(c, r, 24);
+  // Every circle point must be inside the polygon.
+  for (int i = 0; i < 360; i += 5) {
+    const double a = i * M_PI / 180.0;
+    EXPECT_TRUE(contains_point(ngon, c + Vec2{std::cos(a), std::sin(a)} * r));
+  }
+}
+
+TEST(Ngon, InscribedVerticesOnCircle) {
+  Ring ngon = inscribed_ngon({1, 1}, 3.0, 12);
+  ASSERT_EQ(ngon.size(), 12u);
+  for (Vec2 v : ngon) EXPECT_NEAR(dist(v, {1, 1}), 3.0, 1e-12);
+}
+
+TEST(BoxRing, MatchesBBox) {
+  BBox b{{0, 0}, {2, 3}};
+  Ring r = box_ring(b);
+  EXPECT_NEAR(area(r), 6.0, 1e-12);
+  EXPECT_GT(signed_area(r), 0.0);
+}
+
+}  // namespace
+}  // namespace laacad::geom

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "laacad/region.hpp"
+#include "voronoi/sites.hpp"
+
+namespace laacad::core {
+namespace {
+
+using geom::Ring;
+using geom::Vec2;
+
+std::vector<vor::OrderKCell> one_cell(Ring poly) {
+  vor::OrderKCell c;
+  c.gens = {0};
+  c.poly = std::move(poly);
+  return {std::move(c)};
+}
+
+TEST(DominatingRegion, EmptyByDefault) {
+  DominatingRegion r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_dist_from({0, 0}), 0.0);
+  EXPECT_FALSE(r.chebyshev().valid());
+}
+
+TEST(DominatingRegion, SquareCellInsideDomain) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  DominatingRegion r(one_cell({{10, 10}, {30, 10}, {30, 30}, {10, 30}}), d);
+  ASSERT_FALSE(r.empty());
+  EXPECT_NEAR(r.area(), 400.0, 1e-9);
+  EXPECT_TRUE(r.contains({20, 20}));
+  EXPECT_FALSE(r.contains({50, 50}));
+  // Chebyshev center of a square is its center.
+  const geom::Circle c = r.chebyshev();
+  EXPECT_NEAR(c.center.x, 20.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 20.0, 1e-9);
+  EXPECT_NEAR(c.radius, std::sqrt(200.0), 1e-9);
+  // Farthest point from the corner is the opposite corner.
+  EXPECT_NEAR(r.max_dist_from({10, 10}), std::sqrt(800.0), 1e-9);
+  // Centroid of a square is its center.
+  EXPECT_NEAR(r.centroid().x, 20.0, 1e-9);
+}
+
+TEST(DominatingRegion, CellClippedByDomainBoundary) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  // Cell hangs half outside the domain.
+  DominatingRegion r(one_cell({{-20, 10}, {20, 10}, {20, 30}, {-20, 30}}), d);
+  ASSERT_FALSE(r.empty());
+  EXPECT_NEAR(r.area(), 400.0, 1e-9);  // only the inside half
+  for (Vec2 v : r.vertices()) EXPECT_GE(v.x, -1e-9);
+}
+
+TEST(DominatingRegion, CellFullyOutsideDomainDropped) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  DominatingRegion r(
+      one_cell({{200, 200}, {210, 200}, {210, 210}, {200, 210}}), d);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(DominatingRegion, HoleReducesAreaButNotExtremes) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100)
+                      .with_rect_hole({15, 15}, {25, 25});
+  DominatingRegion r(one_cell({{10, 10}, {30, 10}, {30, 30}, {10, 30}}), d);
+  ASSERT_FALSE(r.empty());
+  // Hole area (100) subtracted from coverage accounting...
+  EXPECT_NEAR(r.area(), 400.0 - 100.0, 1e-9);
+  // ... while the covering radius stays that of the outer piece (safe
+  // over-approximation, documented in DESIGN.md).
+  EXPECT_NEAR(r.max_dist_from({10, 10}), std::sqrt(800.0), 1e-9);
+}
+
+TEST(DominatingRegion, MultiPieceAggregation) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  std::vector<vor::OrderKCell> cells;
+  cells.push_back({{0, 1}, {{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  cells.push_back({{0, 2}, {{20, 0}, {30, 0}, {30, 10}, {20, 10}}});
+  DominatingRegion r(cells, d);
+  EXPECT_EQ(r.pieces().size(), 2u);
+  EXPECT_NEAR(r.area(), 200.0, 1e-9);
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({25, 5}));
+  EXPECT_FALSE(r.contains({15, 5}));  // the gap between pieces
+  // MEC must cover both pieces.
+  const geom::Circle c = r.chebyshev();
+  for (Vec2 v : r.vertices()) EXPECT_LE(geom::dist(c.center, v),
+                                        c.radius + 1e-6);
+  // Area-weighted centroid sits between the pieces.
+  EXPECT_NEAR(r.centroid().x, 15.0, 1e-9);
+  EXPECT_NEAR(r.centroid().y, 5.0, 1e-9);
+}
+
+TEST(DominatingRegion, ChebyshevMatchesBruteForceMinimax) {
+  // The Chebyshev center minimizes the max distance to region vertices;
+  // verify against a grid search.
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  laacad::Rng rng(7);
+  Ring tri = {{rng.uniform(0, 100), rng.uniform(0, 100)},
+              {rng.uniform(0, 100), rng.uniform(0, 100)},
+              {rng.uniform(0, 100), rng.uniform(0, 100)}};
+  geom::make_ccw(tri);
+  if (geom::area(tri) < 10.0) GTEST_SKIP();
+  DominatingRegion r(one_cell(tri), d);
+  const geom::Circle c = r.chebyshev();
+  for (int t = 0; t < 2000; ++t) {
+    const Vec2 probe{rng.uniform(0, 100), rng.uniform(0, 100)};
+    EXPECT_GE(r.max_dist_from(probe), c.radius - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace laacad::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace laacad {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  Summary e;
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.0);
+  Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(JainFairness, Extremes) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+  EXPECT_NEAR(jain_fairness({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+    int k = rng.uniform_int(5, 9);
+    EXPECT_GE(k, 5);
+    EXPECT_LE(k, 9);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(9);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  // Child streams should differ from each other.
+  bool differ = false;
+  for (int i = 0; i < 8; ++i)
+    if (c1.uniform01() != c2.uniform01()) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, GaussianMomentsRoughly) {
+  Rng rng(123);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"N", "R*"});
+  t.add_row({"1000", TextTable::num(3.0351, 3)});
+  t.add_row({"20", "1.5"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("N"), std::string::npos);
+  EXPECT_NE(s.find("3.035"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Rows have equal alignment: each line starts at column 0 with the value.
+  EXPECT_EQ(s.find("1000"), s.find('\n', s.find('\n') + 1) + 1);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(42), "42");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/laacad_test_csv.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"1", "2"});
+    w.add_row({"3"});  // short row padded
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,");
+}
+
+}  // namespace
+}  // namespace laacad

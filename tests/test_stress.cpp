@@ -1,0 +1,163 @@
+// Stress and degeneracy suite: configurations that historically break
+// Voronoi/clipping code — collinear sites, co-located clusters, lattice
+// symmetry (4-fold ties), extreme aspect ratios, and tiny domains.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "coverage/critical.hpp"
+#include "coverage/grid_checker.hpp"
+#include "laacad/engine.hpp"
+#include "voronoi/adaptive.hpp"
+#include "voronoi/orderk.hpp"
+#include "voronoi/sites.hpp"
+#include "wsn/deployment.hpp"
+
+namespace laacad {
+namespace {
+
+using geom::Ring;
+using geom::Vec2;
+
+Ring window(double w, double h) { return {{0, 0}, {w, 0}, {w, h}, {0, h}}; }
+
+bool in_cells(const std::vector<vor::OrderKCell>& cells, Vec2 v) {
+  for (const auto& c : cells)
+    if (geom::contains_point(c.poly, v, 1e-6)) return true;
+  return false;
+}
+
+TEST(Stress, CollinearSites) {
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 8; ++i) sites.push_back({10.0 + i * 10.0, 50.0});
+  sites = vor::separate_sites(sites);
+  for (int k : {1, 2, 3}) {
+    double total = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      auto cells = vor::dominating_region_cells(sites, i, k, window(100, 100));
+      for (const auto& c : cells) total += c.area();
+    }
+    EXPECT_NEAR(total, k * 10000.0, 10.0) << "k=" << k;
+  }
+}
+
+TEST(Stress, SquareLatticeFourFoldTies) {
+  // Square lattices put four sites on every order-2 Voronoi vertex — the
+  // classic degeneracy. Membership must still match brute force.
+  std::vector<Vec2> sites;
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x)
+      sites.push_back({10.0 + x * 20.0, 10.0 + y * 20.0});
+  sites = vor::separate_sites(sites);
+  Rng rng(5);
+  for (int k : {1, 2, 4}) {
+    const int i = 12;  // center site
+    auto cells = vor::dominating_region_cells(sites, i, k, window(100, 100));
+    ASSERT_FALSE(cells.empty());
+    int checked = 0;
+    for (int t = 0; t < 400; ++t) {
+      Vec2 v{rng.uniform(0, 100), rng.uniform(0, 100)};
+      const double di = geom::dist(sites[12], v);
+      bool tie = false;
+      for (std::size_t j = 0; j < sites.size(); ++j) {
+        if (j != 12 && std::abs(geom::dist(sites[j], v) - di) < 1e-3)
+          tie = true;
+      }
+      if (tie) continue;
+      ++checked;
+      EXPECT_EQ(vor::closer_count(sites, i, v) <= k - 1, in_cells(cells, v))
+          << "k=" << k << " v=(" << v.x << "," << v.y << ")";
+    }
+    EXPECT_GT(checked, 250);
+  }
+}
+
+TEST(Stress, CoLocatedClusterSites) {
+  // k co-located clusters (the paper's equilibrium shape) as *input*.
+  Rng rng(6);
+  auto anchors = wsn::deploy_uniform(wsn::Domain::rectangle(100, 100), 8, rng);
+  auto sites = vor::separate_sites(wsn::stacked(anchors, 3, rng, 1e-9));
+  for (std::size_t i = 0; i < sites.size(); i += 5) {
+    auto cells = vor::dominating_region_cells(sites, static_cast<int>(i), 3,
+                                              window(100, 100));
+    EXPECT_FALSE(cells.empty()) << "site " << i;
+  }
+}
+
+TEST(Stress, ExtremeAspectRatioDomain) {
+  wsn::Domain d = wsn::Domain::rectangle(1000, 20);
+  Rng rng(7);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 15, rng), 200.0);
+  core::LaacadConfig cfg;
+  cfg.k = 1;
+  cfg.epsilon = 0.5;
+  cfg.max_rounds = 250;
+  core::Engine engine(net, cfg);
+  auto res = engine.run();
+  EXPECT_TRUE(res.converged);
+  const auto exact = cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, 1);
+  // In a thin strip the nodes should line up: ranges ~ strip length / 2N.
+  EXPECT_LT(res.final_max_range, 80.0);
+}
+
+TEST(Stress, TinyDomainManyNodes) {
+  wsn::Domain d = wsn::Domain::rectangle(10, 10);
+  Rng rng(8);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 25, rng), 5.0);
+  core::LaacadConfig cfg;
+  cfg.k = 3;
+  cfg.epsilon = 0.05;
+  cfg.max_rounds = 200;
+  core::Engine engine(net, cfg);
+  auto res = engine.run();
+  const auto exact = cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, 3);
+  EXPECT_LT(res.final_max_range, 5.0);
+}
+
+TEST(Stress, AdaptiveSolverOnClusteredField) {
+  // Gaussian blob: high density center, sparse fringe — the adaptive radius
+  // must still certify every node.
+  wsn::Domain d = wsn::Domain::rectangle(400, 400);
+  Rng rng(9);
+  auto pts = wsn::deploy_gaussian(d, 120, {200, 200}, 40.0, rng);
+  auto sites = vor::separate_sites(pts);
+  wsn::SpatialGrid grid(sites, 40.0);
+  for (int i = 0; i < 120; i += 7) {
+    auto res = vor::compute_dominating_region(sites, grid, i, 2, d.bbox());
+    EXPECT_FALSE(res.cells.empty()) << "node " << i;
+    // Region contains its own site.
+    bool contains = false;
+    for (const auto& c : res.cells)
+      if (geom::contains_point(c.poly, sites[static_cast<std::size_t>(i)],
+                               1e-6))
+        contains = true;
+    EXPECT_TRUE(contains) << "node " << i;
+  }
+}
+
+TEST(Stress, KLargerThanHalfPopulation) {
+  std::vector<Vec2> sites;
+  Rng rng(10);
+  for (int i = 0; i < 12; ++i)
+    sites.push_back({rng.uniform(10, 90), rng.uniform(10, 90)});
+  sites = vor::separate_sites(sites);
+  // k = 9 of 12: regions are huge unions; membership must still be exact.
+  auto cells = vor::dominating_region_cells(sites, 4, 9, window(100, 100));
+  ASSERT_FALSE(cells.empty());
+  int checked = 0;
+  for (int t = 0; t < 300; ++t) {
+    Vec2 v{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double di = geom::dist(sites[4], v);
+    bool tie = false;
+    for (std::size_t j = 0; j < sites.size(); ++j)
+      if (j != 4 && std::abs(geom::dist(sites[j], v) - di) < 1e-4) tie = true;
+    if (tie) continue;
+    ++checked;
+    EXPECT_EQ(vor::closer_count(sites, 4, v) <= 8, in_cells(cells, v));
+  }
+  EXPECT_GT(checked, 200);
+}
+
+}  // namespace
+}  // namespace laacad

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geometry/vec2.hpp"
+
+namespace laacad::geom {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 a{1.0, 1.0};
+  a += {2.0, 3.0};
+  EXPECT_EQ(a, Vec2(3.0, 4.0));
+  a -= {1.0, 1.0};
+  EXPECT_EQ(a, Vec2(2.0, 3.0));
+  a *= 2.0;
+  EXPECT_EQ(a, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+  Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(dist(Vec2{0, 0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(dist2(Vec2{0, 0}, a), 25.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  Vec2 a{3.0, 4.0};
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-15);
+  // Zero vector stays zero instead of dividing by zero.
+  EXPECT_EQ(Vec2(0, 0).normalized(), Vec2(0, 0));
+}
+
+TEST(Vec2, DotAndCross) {
+  Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(b, a), -1.0);
+}
+
+TEST(Vec2, PerpIsCcwRotation) {
+  Vec2 a{1.0, 0.0};
+  EXPECT_EQ(a.perp(), Vec2(0.0, 1.0));
+  EXPECT_NEAR(dot(a, a.perp()), 0.0, 1e-15);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  Vec2 a{1.0, 0.0};
+  Vec2 r = a.rotated(M_PI / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, AngleMatchesAtan2) {
+  EXPECT_NEAR(Vec2(1, 1).angle(), M_PI / 4.0, 1e-15);
+  EXPECT_NEAR(Vec2(-1, 0).angle(), M_PI, 1e-15);
+}
+
+TEST(Vec2, LerpAndMidpoint) {
+  Vec2 a{0, 0}, b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec2(5, 10));
+  EXPECT_EQ(midpoint(a, b), Vec2(5, 10));
+}
+
+TEST(Orientation, BasicTurns) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // CCW
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // CW
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(Orientation, EpsilonAbsorbsTinyPerturbation) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 1e-12}), 0);
+}
+
+TEST(AlmostEqual, Tolerance) {
+  EXPECT_TRUE(almost_equal({1, 1}, {1 + 1e-10, 1 - 1e-10}));
+  EXPECT_FALSE(almost_equal({1, 1}, {1 + 1e-6, 1}));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace laacad::geom

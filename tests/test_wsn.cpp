@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+#include "wsn/boundary.hpp"
+#include "wsn/comm.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/localization.hpp"
+#include "wsn/network.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace laacad::wsn {
+namespace {
+
+using geom::Vec2;
+
+// ---------------------------------------------------------------- grid ----
+
+TEST(SpatialGrid, WithinMatchesBruteForce) {
+  Rng rng(11);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i)
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  SpatialGrid grid(pts, 10.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double r = rng.uniform(1.0, 40.0);
+    auto got = grid.within(q, r);
+    std::vector<int> expect;
+    for (int i = 0; i < 300; ++i)
+      if (geom::dist(pts[static_cast<size_t>(i)], q) <= r) expect.push_back(i);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(SpatialGrid, KNearestMatchesBruteForce) {
+  Rng rng(13);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  SpatialGrid grid(pts, 7.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const int k = rng.uniform_int(1, 12);
+    auto got = grid.k_nearest(q, k);
+    ASSERT_EQ(static_cast<int>(got.size()), k);
+    std::vector<int> idx(200);
+    for (int i = 0; i < 200; ++i) idx[static_cast<size_t>(i)] = i;
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+      return geom::dist2(pts[static_cast<size_t>(a)], q) <
+             geom::dist2(pts[static_cast<size_t>(b)], q);
+    });
+    // Same distances (ties may reorder indices).
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(geom::dist(pts[static_cast<size_t>(got[static_cast<size_t>(i)])], q),
+                  geom::dist(pts[static_cast<size_t>(idx[static_cast<size_t>(i)])], q), 1e-9);
+    }
+  }
+}
+
+TEST(SpatialGrid, ExcludeSkipsSelf) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}, {2, 0}};
+  SpatialGrid grid(pts, 1.0);
+  auto got = grid.k_nearest({0, 0}, 2, /*exclude=*/0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+}
+
+TEST(SpatialGrid, KLargerThanPopulation) {
+  std::vector<Vec2> pts = {{0, 0}, {1, 0}};
+  SpatialGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.k_nearest({0, 0}, 10).size(), 2u);
+}
+
+// ------------------------------------------------------------- network ----
+
+TEST(Network, PositionsProjectedIntoDomain) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{-5, 50}, {50, 50}}, 10.0);
+  EXPECT_TRUE(d.contains(net.position(0)));
+  EXPECT_EQ(net.position(1), Vec2(50, 50));
+}
+
+TEST(Network, OneHopNeighbors) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {15, 10}, {50, 50}}, 10.0);
+  auto nb = net.one_hop_neighbors(0);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 1);
+}
+
+TEST(Network, AddRemoveNode) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}}, 10.0);
+  NodeId id = net.add_node({20, 20});
+  EXPECT_EQ(net.size(), 2);
+  EXPECT_EQ(id, 1);
+  net.remove_node(0);
+  EXPECT_EQ(net.size(), 1);
+  EXPECT_EQ(net.node(0).id, 0);  // ids re-densified
+  EXPECT_EQ(net.position(0), Vec2(20, 20));
+}
+
+TEST(Network, MoveInvalidatesQueries) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {90, 90}}, 15.0);
+  EXPECT_TRUE(net.one_hop_neighbors(0).empty());
+  net.set_position(1, {20, 10});
+  auto nb = net.one_hop_neighbors(0);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 1);
+}
+
+// ---------------------------------------------------------- deployment ----
+
+TEST(Deployment, UniformInsideDomain) {
+  Domain d = Domain::lshape(100, 100);
+  Rng rng(2);
+  auto pts = deploy_uniform(d, 200, rng);
+  EXPECT_EQ(pts.size(), 200u);
+  for (Vec2 p : pts) EXPECT_TRUE(d.contains(p));
+}
+
+TEST(Deployment, CornerClusterIsClustered) {
+  Domain d = Domain::rectangle(1000, 1000);
+  Rng rng(3);
+  auto pts = deploy_corner(d, 100, rng, 0.12);
+  for (Vec2 p : pts) {
+    EXPECT_LE(p.x, 120.0 + 1e-9);
+    EXPECT_LE(p.y, 120.0 + 1e-9);
+  }
+}
+
+TEST(Deployment, GaussianStaysInDomain) {
+  Domain d = Domain::rectangle(100, 100);
+  Rng rng(4);
+  auto pts = deploy_gaussian(d, 150, {50, 50}, 20.0, rng);
+  EXPECT_EQ(pts.size(), 150u);
+  for (Vec2 p : pts) EXPECT_TRUE(d.contains(p));
+}
+
+TEST(Deployment, TriangularLatticeSpacing) {
+  Domain d = Domain::rectangle(100, 100);
+  auto pts = triangular_lattice(d, 10.0);
+  ASSERT_GT(pts.size(), 50u);
+  // Nearest-neighbour spacing ~ 10 for interior points.
+  SpatialGrid grid(pts, 10.0);
+  auto nb = grid.k_nearest(pts[pts.size() / 2], 2);
+  const double dmin = geom::dist(pts[static_cast<size_t>(nb[1])], pts[pts.size() / 2]);
+  EXPECT_NEAR(dmin, 10.0, 0.5);
+}
+
+TEST(Deployment, SquareLatticeCount) {
+  Domain d = Domain::rectangle(100, 100);
+  auto pts = square_lattice(d, 10.0);
+  // ~11x11 grid.
+  EXPECT_GE(pts.size(), 100u);
+  EXPECT_LE(pts.size(), 145u);
+}
+
+TEST(Deployment, StackedPlacesKPerAnchor) {
+  Rng rng(5);
+  auto pts = stacked({{0, 0}, {10, 10}}, 3, rng, 1e-3);
+  EXPECT_EQ(pts.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(geom::dist(pts[i], {0, 0}), 0.0, 3e-3);
+}
+
+// ---------------------------------------------------------------- comm ----
+
+TEST(Comm, HopDistancesLinearChain) {
+  Domain d = Domain::rectangle(100, 10);
+  Network net(&d, {{0, 5}, {10, 5}, {20, 5}, {30, 5}, {90, 5}}, 11.0);
+  CommModel comm(net);
+  auto hd = comm.hop_distances(0);
+  EXPECT_EQ(hd[0], 0);
+  EXPECT_EQ(hd[1], 1);
+  EXPECT_EQ(hd[2], 2);
+  EXPECT_EQ(hd[3], 3);
+  EXPECT_EQ(hd[4], -1);  // unreachable
+  EXPECT_FALSE(comm.connected());
+}
+
+TEST(Comm, MaxHopsTruncates) {
+  Domain d = Domain::rectangle(100, 10);
+  Network net(&d, {{0, 5}, {10, 5}, {20, 5}, {30, 5}}, 11.0);
+  CommModel comm(net);
+  auto hd = comm.hop_distances(0, 2);
+  EXPECT_EQ(hd[2], 2);
+  EXPECT_EQ(hd[3], -1);
+}
+
+TEST(Comm, GatherRespectsRhoAndHops) {
+  Domain d = Domain::rectangle(100, 10);
+  Network net(&d, {{0, 5}, {10, 5}, {20, 5}, {30, 5}}, 11.0);
+  CommModel comm(net);
+  CommStats stats;
+  // rho = 25: nodes at 10 and 20 qualify by distance, 30 does not.
+  auto got = comm.gather(0, 25.0, 3, &stats);
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_EQ(stats.gather_requests, 1u);
+  EXPECT_EQ(stats.node_reports, 2u);
+  // Hop cap of 1 restricts to the one-hop neighbour even though rho reaches
+  // further.
+  auto got1 = comm.gather(0, 25.0, 1, &stats);
+  EXPECT_EQ(got1, (std::vector<int>{1}));
+}
+
+TEST(Comm, ConnectedDenseNetwork) {
+  Domain d = Domain::rectangle(50, 50);
+  Rng rng(6);
+  Network net(&d, deploy_uniform(d, 80, rng), 15.0);
+  CommModel comm(net);
+  EXPECT_TRUE(comm.connected());
+}
+
+// ------------------------------------------------------------ boundary ----
+
+TEST(Boundary, ClusterEdgeDetected) {
+  Domain d = Domain::rectangle(1000, 1000);
+  // Dense 5x5 block of nodes in the middle of a big empty domain.
+  std::vector<Vec2> pts;
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x)
+      pts.push_back({500.0 + x * 10.0, 500.0 + y * 10.0});
+  Network net(&d, pts, 16.0);
+  BoundaryConfig cfg;
+  cfg.gap_threshold = M_PI / 2.0;
+  cfg.area_margin = 1.0;  // far from the area boundary here
+  auto info = detect_all_boundaries(net, cfg);
+  // Corner node of the block: definitely boundary.
+  EXPECT_TRUE(info[0].network_boundary);
+  // Center node (index 12): surrounded on all sides.
+  EXPECT_FALSE(info[12].network_boundary);
+  EXPECT_TRUE(net.node(0).boundary);
+  EXPECT_FALSE(net.node(12).boundary);
+}
+
+TEST(Boundary, AreaBoundaryByProximity) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{2, 50}, {50, 50}}, 10.0);
+  BoundaryConfig cfg;
+  cfg.area_margin = 5.0;
+  EXPECT_TRUE(detect_boundary(net, 0, cfg).area_boundary);
+  EXPECT_FALSE(detect_boundary(net, 1, cfg).area_boundary);
+}
+
+TEST(Boundary, IsolatedNodeIsBoundary) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{50, 50}}, 10.0);
+  EXPECT_TRUE(detect_boundary(net, 0).network_boundary);
+}
+
+// -------------------------------------------------------- localization ----
+
+TEST(Localization, PerfectFrameMatchesRelativePositions) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {20, 10}, {10, 30}}, 50.0);
+  Rng rng(7);
+  auto rel = local_frame(net, 0, {1, 2}, {}, rng);
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_NEAR(rel[0].x, 10.0, 1e-12);
+  EXPECT_NEAR(rel[0].y, 0.0, 1e-12);
+  EXPECT_NEAR(rel[1].x, 0.0, 1e-12);
+  EXPECT_NEAR(rel[1].y, 20.0, 1e-12);
+}
+
+TEST(Localization, NoisePerturbsButPreservesScale) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {60, 10}}, 100.0);
+  Rng rng(8);
+  LocalFrameConfig cfg;
+  cfg.range_noise = 0.05;
+  Summary err;
+  for (int i = 0; i < 200; ++i) {
+    auto rel = local_frame(net, 0, {1}, cfg, rng);
+    err.add(rel[0].norm());
+  }
+  EXPECT_NEAR(err.mean(), 50.0, 2.0);
+  EXPECT_GT(err.stddev(), 0.5);
+}
+
+// -------------------------------------------------------------- energy ----
+
+TEST(Energy, QuadraticModel) {
+  EXPECT_NEAR(sensing_energy(2.0), 4.0 * M_PI, 1e-12);
+  EXPECT_NEAR(sensing_energy(0.0), 0.0, 1e-12);
+}
+
+TEST(Energy, LoadReportAggregates) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {20, 20}, {30, 30}}, 10.0);
+  net.set_sensing_range(0, 1.0);
+  net.set_sensing_range(1, 2.0);
+  net.set_sensing_range(2, 3.0);
+  LoadReport rep = load_report(net);
+  EXPECT_NEAR(rep.max_load, 9.0 * M_PI, 1e-9);
+  EXPECT_NEAR(rep.min_load, M_PI, 1e-9);
+  EXPECT_NEAR(rep.total_load, 14.0 * M_PI, 1e-9);
+  EXPECT_GT(rep.fairness, 0.5);
+  EXPECT_LT(rep.fairness, 1.0);
+}
+
+TEST(Energy, PerfectBalanceFairnessOne) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {20, 20}}, 10.0);
+  net.set_sensing_range(0, 2.5);
+  net.set_sensing_range(1, 2.5);
+  EXPECT_NEAR(load_report(net).fairness, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace laacad::wsn
