@@ -55,8 +55,8 @@ void experiment() {
     cfg.k = k;
     cfg.epsilon = 1.0;
     cfg.max_rounds = 300;
-    cfg.backend = core::RegionBackend::kLocalized;
     cfg.localized.max_hops = hops;
+    cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
     run_one("localized, cap " + std::to_string(hops) + " hops", cfg);
   }
   {
@@ -64,9 +64,9 @@ void experiment() {
     cfg.k = k;
     cfg.epsilon = 1.0;
     cfg.max_rounds = 300;
-    cfg.backend = core::RegionBackend::kLocalized;
     cfg.localized.max_hops = 10;
     cfg.localized.ideal_gather = false;  // TTL-limited flooding
+    cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
     run_one("localized, realistic flooding", cfg);
   }
 

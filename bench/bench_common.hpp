@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -18,6 +19,26 @@
 #include "common/table.hpp"
 
 namespace laacad::benchutil {
+
+/// Thread count for LaacadConfig::num_threads in the benches, settable
+/// without recompiling: LAACAD_THREADS=8 ./bench_fig6_convergence.
+/// Defaults to 1 (serial — the paper-faithful reference configuration);
+/// 0 means hardware concurrency. Unparsable or negative values fall back
+/// to the serial default with a warning rather than skewing the run.
+inline int num_threads() {
+  const char* env = std::getenv("LAACAD_THREADS");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) {
+    std::fprintf(stderr,
+                 "LAACAD_THREADS='%s' is not a non-negative integer; "
+                 "running serial\n",
+                 env);
+    return 1;
+  }
+  return static_cast<int>(value);
+}
 
 /// Accumulates titled tables produced inside benchmark bodies.
 class TableSink {

@@ -8,7 +8,7 @@
 //              [--rounds R] [--gamma G] [--domain square|lshape|cross]
 //              [--side METRES] [--hole] [--deploy uniform|corner|gaussian]
 //              [--backend global|localized] [--max-hops H] [--noise SIGMA]
-//              [--svg PREFIX] [--csv FILE] [--quiet]
+//              [--threads T] [--svg PREFIX] [--csv FILE] [--quiet]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +42,7 @@ struct Options {
   std::string backend = "global";
   int max_hops = 10;
   double noise = 0.0;
+  int threads = 1;  // 0 = hardware concurrency
   std::string svg_prefix;
   std::string csv_path;
   bool quiet = false;
@@ -53,7 +54,7 @@ void usage(const char* argv0) {
       "          [--rounds R] [--gamma G] [--domain square|lshape|cross]\n"
       "          [--side M] [--hole] [--deploy uniform|corner|gaussian]\n"
       "          [--backend global|localized] [--max-hops H] [--noise S]\n"
-      "          [--svg PREFIX] [--csv FILE] [--quiet]\n",
+      "          [--threads T] [--svg PREFIX] [--csv FILE] [--quiet]\n",
       argv0);
 }
 
@@ -80,6 +81,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--backend") { if (auto* v = next()) opt.backend = v; }
     else if (flag == "--max-hops") { if (auto* v = next()) opt.max_hops = std::atoi(v); }
     else if (flag == "--noise") { if (auto* v = next()) opt.noise = std::atof(v); }
+    else if (flag == "--threads") { if (auto* v = next()) opt.threads = std::atoi(v); }
     else if (flag == "--svg") { if (auto* v = next()) opt.svg_prefix = v; }
     else if (flag == "--csv") { if (auto* v = next()) opt.csv_path = v; }
     else {
@@ -97,6 +99,10 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) {
     usage(argv[0]);
+    return 2;
+  }
+  if (opt.threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = hardware)\n");
     return 2;
   }
 
@@ -146,10 +152,11 @@ int main(int argc, char** argv) {
   cfg.epsilon = opt.epsilon;
   cfg.max_rounds = opt.rounds;
   cfg.seed = opt.seed;
+  cfg.num_threads = opt.threads;
   if (opt.backend == "localized") {
-    cfg.backend = core::RegionBackend::kLocalized;
     cfg.localized.max_hops = opt.max_hops;
     cfg.localized.frame.range_noise = opt.noise;
+    cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
   } else if (opt.backend != "global") {
     std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
     return 2;
@@ -167,6 +174,7 @@ int main(int argc, char** argv) {
     table.add_row({"nodes", std::to_string(opt.nodes)});
     table.add_row({"k", std::to_string(opt.k)});
     table.add_row({"backend", opt.backend});
+    table.add_row({"threads", std::to_string(opt.threads)});
     table.add_row({"converged", result.converged ? "yes" : "no"});
     table.add_row({"rounds", std::to_string(result.rounds)});
     table.add_row({"R* max range (m)", TextTable::num(result.final_max_range, 3)});

@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laacad::common {
+
+namespace {
+// Set while the current thread is executing a chunk; run() refuses to nest.
+thread_local bool tls_in_chunk = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0)
+    throw std::invalid_argument("ThreadPool: negative thread count");
+  if (num_threads == 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(int chunk) {
+  // Chunk c covers [c*n/chunks, (c+1)*n/chunks) — a static partition that
+  // depends only on (n, chunks), never on timing.
+  const long long n = job_n_, chunks = job_chunks_;
+  const int begin = static_cast<int>(chunk * n / chunks);
+  const int end = static_cast<int>((chunk + 1) * n / chunks);
+  tls_in_chunk = true;
+  try {
+    for (int i = begin; i < end; ++i) (*job_fn_)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    errors_[static_cast<std::size_t>(chunk)] = std::current_exception();
+  }
+  tls_in_chunk = false;
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    // Worker w owns chunk w (the caller owns chunk 0); with fewer chunks
+    // than threads the surplus workers sit this job out but still report in.
+    if (worker_index < job_chunks_) run_chunk(worker_index);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (tls_in_chunk)
+    throw std::logic_error("ThreadPool::run: nested use from inside a chunk");
+  std::lock_guard<std::mutex> serial(run_mutex_);
+
+  const int chunks = std::min(size(), n);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_n_ = n;
+    job_chunks_ = chunks;
+    job_fn_ = &fn;
+    errors_.assign(static_cast<std::size_t>(chunks), nullptr);
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  run_chunk(0);
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+  for (std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void parallel_for(ThreadPool* pool, int n,
+                  const std::function<void(int)>& fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    if (tls_in_chunk)
+      throw std::logic_error(
+          "parallel_for: nested use from inside a ThreadPool chunk");
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->run(n, fn);
+}
+
+}  // namespace laacad::common

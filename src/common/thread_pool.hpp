@@ -1,0 +1,74 @@
+// Deterministic fixed-size thread pool for the per-round fan-out.
+//
+// LAACAD's rounds are bulk-synchronous: N independent per-node computations
+// followed by a serial reduction. The pool therefore offers exactly one
+// primitive — run(n, fn) — which partitions [0, n) into one contiguous chunk
+// per thread and blocks until every index has been processed. There is no
+// work stealing and no shared queue: the chunk assignment is a pure function
+// of (n, thread count), so scheduling can never reorder side effects within
+// a chunk, and callers that write results by index get identical memory
+// contents for every thread count (including 1).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laacad::common {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: the pool spawns
+  /// num_threads - 1 workers and the caller executes the first chunk of
+  /// every run() itself. 0 means std::thread::hardware_concurrency().
+  /// Negative thread counts are rejected.
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Joins all workers. Must not be called while a run() is in flight on
+  /// another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in run(), caller included (>= 1).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invoke fn(i) for every i in [0, n), partitioned into size() contiguous
+  /// chunks. Blocks until all chunks finish. If any invocation throws, the
+  /// exception from the lowest-indexed failing chunk is rethrown here after
+  /// all chunks have completed (deterministic choice). Calling run() from
+  /// inside a chunk — nested parallelism — throws std::logic_error without
+  /// executing anything.
+  void run(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int worker_index);
+  void run_chunk(int chunk);
+
+  std::vector<std::thread> workers_;
+
+  // One job at a time; guarded by mutex_/cv_. `generation_` bumps per job so
+  // sleeping workers can tell a fresh job from a spurious wake.
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::mutex run_mutex_;  ///< serializes concurrent run() callers
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  int job_n_ = 0;
+  int job_chunks_ = 0;
+  int pending_ = 0;
+  const std::function<void(int)>* job_fn_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// Convenience: fn(i) for i in [0, n) on `pool`, or serially on the calling
+/// thread when pool is null or single-threaded. This is the call sites'
+/// entry point, so "no pool" and "pool of one" behave identically.
+void parallel_for(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace laacad::common

@@ -4,50 +4,47 @@
 #include <limits>
 #include <stdexcept>
 
-#include "voronoi/sites.hpp"
-#include "wsn/spatial_grid.hpp"
-
 namespace laacad::core {
 
 using geom::Vec2;
 
 Engine::Engine(wsn::Network& net, LaacadConfig cfg)
-    : net_(&net), cfg_(cfg), rng_(cfg.seed) {
+    : net_(&net), cfg_(std::move(cfg)) {
   if (cfg_.k <= 0) throw std::invalid_argument("k must be positive");
   if (net.size() < cfg_.k)
     throw std::invalid_argument("need at least k nodes for k-coverage");
   if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0)
     throw std::invalid_argument("alpha must be in (0, 1]");
+  provider_ = cfg_.provider ? cfg_.provider
+                            : make_global_provider(cfg_.adaptive);
+  if (cfg_.num_threads != 1)
+    pool_ = std::make_unique<common::ThreadPool>(cfg_.num_threads);
 }
 
 std::vector<DominatingRegion> Engine::compute_all_regions(
     RoundMetrics* metrics) {
   const int n = net_->size();
-  std::vector<DominatingRegion> regions(static_cast<std::size_t>(n));
 
-  if (cfg_.backend == RegionBackend::kGlobal) {
-    // One shared snapshot of (degeneracy-separated) positions per round.
-    auto sites = vor::separate_sites(net_->positions());
-    const wsn::SpatialGrid grid(sites, std::max(net_->gamma(), 1.0));
-    const geom::BBox bbox = net_->domain().bbox();
-    for (int i = 0; i < n; ++i) {
-      auto res = vor::compute_dominating_region(sites, grid, i, cfg_.k, bbox,
-                                                cfg_.adaptive);
-      regions[static_cast<std::size_t>(i)] =
-          DominatingRegion(res.cells, net_->domain());
-    }
-  } else {
-    const wsn::CommModel comm(*net_);
-    const auto binfo = wsn::detect_all_boundaries(*net_, cfg_.localized.boundary);
-    for (int i = 0; i < n; ++i) {
-      wsn::CommStats stats;
-      auto res = localized_region(comm, i, cfg_.k,
-                                  binfo[static_cast<std::size_t>(i)],
-                                  cfg_.localized, &stats, rng_);
-      regions[static_cast<std::size_t>(i)] =
-          DominatingRegion(res.cells, net_->domain());
-      if (metrics) metrics->comm.merge(stats);
-    }
+  // Serial snapshot phase, then the embarrassingly parallel per-node phase.
+  // Each slot of `regions`/`stats` is written by exactly one index, so the
+  // contents are independent of the chunk schedule; the metric reduction
+  // below walks them in node order. Providers that query the network's
+  // spatial index warm it during begin_round (and Network::grid() is safe
+  // under concurrent readers regardless).
+  provider_->begin_round(*net_, cfg_.k, epoch_++);
+
+  std::vector<DominatingRegion> regions(static_cast<std::size_t>(n));
+  std::vector<wsn::CommStats> stats(static_cast<std::size_t>(n));
+  common::parallel_for(pool_.get(), n, [&](int i) {
+    RegionOutput out = provider_->compute(i);
+    regions[static_cast<std::size_t>(i)] =
+        DominatingRegion(out.cells, net_->domain());
+    stats[static_cast<std::size_t>(i)] = out.comm;
+  });
+
+  if (metrics) {
+    for (int i = 0; i < n; ++i)
+      metrics->comm.merge(stats[static_cast<std::size_t>(i)]);
   }
   return regions;
 }

@@ -1,33 +1,33 @@
 // LAACAD — Algorithm 1 of the paper.
 //
 // Every round, synchronously for all nodes: compute the dominating region
-// V^k_{n_i} (either exactly via the adaptive Lemma-1 solver, or with the
+// V^k_{n_i} (through a RegionProvider — exact adaptive Lemma-1 solver or the
 // hop-faithful localized Algorithm 2), find its Chebyshev center c_i, and
 // move u_i <- u_i + alpha (c_i - u_i) unless already within the stopping
 // tolerance epsilon. On termination each node tunes its sensing range to the
 // circumradius of its dominating region about its final position, which
 // guarantees k-coverage of the whole target area (every point lies in the
 // dominating region of each of its k nearest nodes, Proposition 1).
+//
+// The per-node region computations are independent (the paper's nodes run
+// them literally in parallel), so the engine fans them across a
+// common::ThreadPool and reduces the results in fixed node order. Round
+// metrics and trajectories are bit-identical for every num_threads value.
 #pragma once
 
-#include <functional>
-#include <optional>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "laacad/localized.hpp"
 #include "laacad/region.hpp"
+#include "laacad/region_provider.hpp"
 #include "voronoi/adaptive.hpp"
 #include "wsn/energy.hpp"
 #include "wsn/network.hpp"
 
 namespace laacad::core {
-
-/// Which region back-end drives the rounds.
-enum class RegionBackend {
-  kGlobal,     ///< adaptive exact solver (Lemma 1, geometric ring growth)
-  kLocalized,  ///< Algorithm 2: hop-granular rings + boundary service
-};
 
 struct LaacadConfig {
   int k = 1;               ///< coverage degree
@@ -35,9 +35,16 @@ struct LaacadConfig {
   double epsilon = 0.5;    ///< stopping tolerance (metres)
   int max_rounds = 400;
   double tau_ms = 100.0;   ///< nominal round period (reporting only)
-  RegionBackend backend = RegionBackend::kGlobal;
-  vor::AdaptiveConfig adaptive;   ///< global-backend tuning
-  LocalizedConfig localized;      ///< localized-backend tuning
+  /// Threads for the per-round region fan-out: 1 = serial (default),
+  /// 0 = hardware concurrency, N = exactly N. Results are identical for
+  /// every value.
+  int num_threads = 1;
+  /// Region backend. Null selects make_global_provider(adaptive); for the
+  /// localized Algorithm 2 set
+  ///   cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
+  std::shared_ptr<RegionProvider> provider;
+  vor::AdaptiveConfig adaptive;   ///< global-provider tuning
+  LocalizedConfig localized;      ///< localized-provider tuning
   std::uint64_t seed = 1;         ///< feeds localization noise simulation
 };
 
@@ -49,7 +56,7 @@ struct RoundMetrics {
   double max_hat_radius = 0.0;    ///< max_i max_{v in V^k_i} |v - u_i| (R̂^l)
   double max_move = 0.0;          ///< largest node displacement this round
   int moved = 0;                  ///< nodes that moved more than epsilon
-  wsn::CommStats comm;            ///< localized backend message accounting
+  wsn::CommStats comm;            ///< localized provider message accounting
 };
 
 struct RunResult {
@@ -84,6 +91,7 @@ class Engine {
   DominatingRegion region_of(wsn::NodeId i);
 
   const LaacadConfig& config() const { return cfg_; }
+  const RegionProvider& provider() const { return *provider_; }
   int rounds_executed() const { return round_; }
 
  private:
@@ -91,7 +99,9 @@ class Engine {
 
   wsn::Network* net_;
   LaacadConfig cfg_;
-  Rng rng_;
+  std::shared_ptr<RegionProvider> provider_;
+  std::unique_ptr<common::ThreadPool> pool_;  ///< null when serial
+  std::uint64_t epoch_ = 0;  ///< counts provider snapshots, not rounds
   int round_ = 0;
 };
 

@@ -1,0 +1,83 @@
+#include "laacad/region_provider.hpp"
+
+#include <algorithm>
+
+#include "voronoi/sites.hpp"
+
+namespace laacad::core {
+
+namespace {
+
+// splitmix64-style mix of (seed, epoch, node) into one decorrelated stream
+// id. Pure function of its inputs: the noise a node draws in a round does
+// not depend on which thread computes it or what other nodes drew.
+std::uint64_t node_stream(std::uint64_t seed, std::uint64_t epoch,
+                          std::uint64_t node) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (epoch + 1) +
+                    0xbf58476d1ce4e5b9ULL * (node + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ global
+
+GlobalRegionProvider::GlobalRegionProvider(vor::AdaptiveConfig cfg)
+    : cfg_(cfg) {}
+
+void GlobalRegionProvider::begin_round(wsn::Network& net, int k,
+                                       std::uint64_t /*epoch*/) {
+  k_ = k;
+  sites_ = vor::separate_sites(net.positions());
+  grid_.rebuild(sites_, std::max(net.gamma(), 1.0));
+  bbox_ = net.domain().bbox();
+}
+
+RegionOutput GlobalRegionProvider::compute(wsn::NodeId i) const {
+  RegionOutput out;
+  auto res =
+      vor::compute_dominating_region(sites_, grid_, i, k_, bbox_, cfg_);
+  out.cells = std::move(res.cells);
+  return out;
+}
+
+// --------------------------------------------------------------- localized
+
+LocalizedRegionProvider::LocalizedRegionProvider(LocalizedConfig cfg,
+                                                 std::uint64_t seed)
+    : cfg_(cfg), seed_(seed) {}
+
+void LocalizedRegionProvider::begin_round(wsn::Network& net, int k,
+                                          std::uint64_t epoch) {
+  k_ = k;
+  epoch_ = epoch;
+  // Boundary verdicts first (they query the network's spatial index and
+  // warm it), then the connectivity snapshot the gathers run over.
+  boundaries_ = wsn::detect_all_boundaries(net, cfg_.boundary);
+  comm_.emplace(net);
+}
+
+RegionOutput LocalizedRegionProvider::compute(wsn::NodeId i) const {
+  RegionOutput out;
+  Rng rng(node_stream(seed_, epoch_, static_cast<std::uint64_t>(i)));
+  auto res = localized_region(*comm_, i, k_,
+                              boundaries_[static_cast<std::size_t>(i)], cfg_,
+                              &out.comm, rng);
+  out.cells = std::move(res.cells);
+  return out;
+}
+
+// ---------------------------------------------------------------- factories
+
+std::shared_ptr<RegionProvider> make_global_provider(vor::AdaptiveConfig cfg) {
+  return std::make_shared<GlobalRegionProvider>(cfg);
+}
+
+std::shared_ptr<RegionProvider> make_localized_provider(LocalizedConfig cfg,
+                                                        std::uint64_t seed) {
+  return std::make_shared<LocalizedRegionProvider>(cfg, seed);
+}
+
+}  // namespace laacad::core

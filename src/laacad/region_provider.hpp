@@ -1,0 +1,108 @@
+// RegionProvider — the seam between Algorithm 1's round loop and the two
+// ways a node can learn its dominating region V^k_{n_i}.
+//
+// A provider runs in two phases per round, mirroring the communication
+// structure of the paper: begin_round() is the serial "broadcast" phase
+// (snapshot positions, rebuild the connectivity model, refresh boundary
+// verdicts), compute(i) is the per-node phase — a pure function of the
+// snapshot, safe to call concurrently from any number of threads, which is
+// what lets the engine fan the N independent region computations across a
+// thread pool with bit-identical results for every thread count.
+//
+// Implementations:
+//   GlobalRegionProvider    — the adaptive exact Lemma-1 solver over a
+//                             provider-owned spatial grid (re-binned, not
+//                             reallocated, between rounds).
+//   LocalizedRegionProvider — Algorithm 2 hop-rings over the multi-hop
+//                             communication model, with localization noise
+//                             drawn from a per-(epoch, node) stream so the
+//                             draw sequence is independent of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "laacad/localized.hpp"
+#include "voronoi/adaptive.hpp"
+#include "wsn/boundary.hpp"
+#include "wsn/comm.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::core {
+
+/// What one per-node computation yields: the convex pieces of V^k_{n_i}
+/// (generator ids are global node ids) plus the messages it cost.
+struct RegionOutput {
+  std::vector<vor::OrderKCell> cells;
+  wsn::CommStats comm;  ///< zeros for providers that do not message
+};
+
+class RegionProvider {
+ public:
+  virtual ~RegionProvider() = default;
+
+  /// Serial per-round snapshot phase. May mutate the network's per-node
+  /// annotations (boundary flags) but not positions. `epoch` is a strictly
+  /// increasing call counter supplied by the engine; providers that consume
+  /// randomness must derive it from (seed, epoch, node) only, never from a
+  /// stream shared across nodes, or parallel rounds lose determinism.
+  virtual void begin_round(wsn::Network& net, int k, std::uint64_t epoch) = 0;
+
+  /// Dominating region of node i against the begin_round() snapshot. Must be
+  /// a pure function of (snapshot, i): implementations may not touch shared
+  /// mutable state, so calls are safe from concurrent threads.
+  virtual RegionOutput compute(wsn::NodeId i) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Adaptive exact solver (Lemma 1, geometric ring growth).
+class GlobalRegionProvider final : public RegionProvider {
+ public:
+  explicit GlobalRegionProvider(vor::AdaptiveConfig cfg = {});
+
+  void begin_round(wsn::Network& net, int k, std::uint64_t epoch) override;
+  RegionOutput compute(wsn::NodeId i) const override;
+  std::string_view name() const override { return "global"; }
+
+ private:
+  vor::AdaptiveConfig cfg_;
+  int k_ = 1;
+  std::vector<geom::Vec2> sites_;  ///< degeneracy-separated snapshot
+  wsn::SpatialGrid grid_;          ///< provider-owned, re-binned per round
+  geom::BBox bbox_;
+};
+
+/// Algorithm 2: hop-granular expanding rings + boundary service.
+class LocalizedRegionProvider final : public RegionProvider {
+ public:
+  explicit LocalizedRegionProvider(LocalizedConfig cfg = {},
+                                   std::uint64_t seed = 1);
+
+  void begin_round(wsn::Network& net, int k, std::uint64_t epoch) override;
+  RegionOutput compute(wsn::NodeId i) const override;
+  std::string_view name() const override { return "localized"; }
+
+ private:
+  LocalizedConfig cfg_;
+  std::uint64_t seed_;
+  int k_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::optional<wsn::CommModel> comm_;  ///< rebuilt each begin_round
+  std::vector<wsn::BoundaryInfo> boundaries_;
+};
+
+/// Factory helpers — the usual way call sites select a backend:
+///   cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
+/// A null LaacadConfig::provider means make_global_provider(cfg.adaptive).
+/// A provider instance carries per-round state; share one across engines
+/// only if the engines never run concurrently.
+std::shared_ptr<RegionProvider> make_global_provider(
+    vor::AdaptiveConfig cfg = {});
+std::shared_ptr<RegionProvider> make_localized_provider(
+    LocalizedConfig cfg = {}, std::uint64_t seed = 1);
+
+}  // namespace laacad::core

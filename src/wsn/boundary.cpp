@@ -50,7 +50,7 @@ std::vector<BoundaryInfo> detect_all_boundaries(Network& net,
   out.reserve(static_cast<std::size_t>(net.size()));
   for (NodeId i = 0; i < net.size(); ++i) {
     out.push_back(detect_boundary(net, i, cfg));
-    net.node(i).boundary = out.back().any();
+    net.set_boundary(i, out.back().any());
   }
   return out;
 }

@@ -27,11 +27,15 @@ std::vector<Vec2> Network::positions() const {
 
 void Network::set_position(NodeId i, Vec2 p) {
   nodes_[static_cast<size_t>(i)].pos = domain_->project_inside(p);
-  grid_dirty_ = true;
+  grid_dirty_.store(true, std::memory_order_release);
 }
 
 void Network::set_sensing_range(NodeId i, double r) {
   nodes_[static_cast<size_t>(i)].sensing_range = r;
+}
+
+void Network::set_boundary(NodeId i, bool boundary) {
+  nodes_[static_cast<size_t>(i)].boundary = boundary;
 }
 
 NodeId Network::add_node(Vec2 p) {
@@ -39,7 +43,7 @@ NodeId Network::add_node(Vec2 p) {
   n.id = static_cast<NodeId>(nodes_.size());
   n.pos = domain_->project_inside(p);
   nodes_.push_back(n);
-  grid_dirty_ = true;
+  grid_dirty_.store(true, std::memory_order_release);
   return n.id;
 }
 
@@ -47,17 +51,25 @@ void Network::remove_node(NodeId i) {
   nodes_.erase(nodes_.begin() + i);
   for (std::size_t j = 0; j < nodes_.size(); ++j)
     nodes_[j].id = static_cast<NodeId>(j);
-  grid_dirty_ = true;
+  grid_dirty_.store(true, std::memory_order_release);
 }
 
 const SpatialGrid& Network::grid() const {
-  if (grid_dirty_ || !grid_) {
-    // Cell size ~ gamma works for both comm queries and k-nearest.
-    grid_ = std::make_unique<SpatialGrid>(positions(), std::max(gamma_, 1.0));
-    grid_dirty_ = false;
+  // Double-checked rebuild: concurrent readers race only on the atomic flag;
+  // the first one in re-bins in place (buckets reused round over round) and
+  // publishes with a release store the others acquire.
+  if (grid_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(grid_mutex_);
+    if (grid_dirty_.load(std::memory_order_relaxed)) {
+      // Cell size ~ gamma works for both comm queries and k-nearest.
+      grid_.rebuild(positions(), std::max(gamma_, 1.0));
+      grid_dirty_.store(false, std::memory_order_release);
+    }
   }
-  return *grid_;
+  return grid_;
 }
+
+void Network::warm_grid() const { (void)grid(); }
 
 std::vector<int> Network::nodes_within(Vec2 q, double radius) const {
   return grid().within(q, radius);

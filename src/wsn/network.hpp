@@ -1,8 +1,17 @@
 // The WSN itself: a set of mobile sensor nodes in a domain with a common
 // transmission range gamma (Sec. III-A).
+//
+// Threading contract: the spatial index behind the const query methods
+// (nodes_within / k_nearest / one_hop_neighbors) is built lazily after
+// moves, guarded by a mutex with an atomic dirty flag, so any number of
+// threads may issue const queries concurrently. Mutations (set_position,
+// add_node, remove_node) must not overlap queries — the LAACAD round
+// structure guarantees this (providers snapshot during the serial
+// begin_round, the engine moves nodes in the serial reduction).
 #pragma once
 
-#include <memory>
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "wsn/domain.hpp"
@@ -23,7 +32,6 @@ class Network {
   double gamma() const { return gamma_; }
 
   const Node& node(NodeId i) const { return nodes_[static_cast<size_t>(i)]; }
-  Node& node(NodeId i) { return nodes_[static_cast<size_t>(i)]; }
   const std::vector<Node>& nodes() const { return nodes_; }
 
   geom::Vec2 position(NodeId i) const {
@@ -32,8 +40,12 @@ class Network {
   std::vector<geom::Vec2> positions() const;
 
   /// Move node i (projected into the feasible domain); invalidates the grid.
+  /// All mutation goes through these setters — there is deliberately no
+  /// mutable node accessor, so a position can never change behind the
+  /// spatial index's back.
   void set_position(NodeId i, geom::Vec2 p);
   void set_sensing_range(NodeId i, double r);
+  void set_boundary(NodeId i, bool boundary);
 
   /// Add a node at p; returns its id. Remove drops the highest-index swap —
   /// removal invalidates ids, so callers (the min-node planner) use it only
@@ -41,12 +53,17 @@ class Network {
   NodeId add_node(geom::Vec2 p);
   void remove_node(NodeId i);
 
-  /// Spatial queries over *current* positions (grid rebuilt lazily after
-  /// moves).
+  /// Spatial queries over *current* positions (grid re-binned lazily after
+  /// moves). Safe to call from multiple threads concurrently; see the
+  /// threading contract above.
   std::vector<int> nodes_within(geom::Vec2 q, double radius) const;
   std::vector<int> k_nearest(geom::Vec2 q, int k, int exclude = -1) const;
   /// One-hop neighbours N(n_i): nodes within gamma, excluding i itself.
   std::vector<int> one_hop_neighbors(NodeId i) const;
+
+  /// Force the lazy grid up to date now (e.g. before handing the network to
+  /// concurrent readers, to keep the first query from paying the rebuild).
+  void warm_grid() const;
 
  private:
   const SpatialGrid& grid() const;
@@ -54,8 +71,9 @@ class Network {
   const Domain* domain_;
   double gamma_;
   std::vector<Node> nodes_;
-  mutable std::unique_ptr<SpatialGrid> grid_;
-  mutable bool grid_dirty_ = true;
+  mutable SpatialGrid grid_;
+  mutable std::atomic<bool> grid_dirty_{true};
+  mutable std::mutex grid_mutex_;
 };
 
 }  // namespace laacad::wsn

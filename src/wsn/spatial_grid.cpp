@@ -9,13 +9,26 @@ namespace laacad::wsn {
 
 using geom::Vec2;
 
-SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double cell_size)
-    : points_(points), cell_(std::max(cell_size, 1e-6)) {
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double cell_size) {
+  rebuild(points, cell_size);
+}
+
+void SpatialGrid::rebuild(const std::vector<Vec2>& points, double cell_size) {
+  points_.assign(points.begin(), points.end());
+  cell_ = std::max(cell_size, 1e-6);
   geom::BBox bb = geom::bounding_box(points_);
   origin_ = bb.lo;
-  nx_ = std::max(1, static_cast<int>(std::ceil((bb.width() + 1e-9) / cell_)));
-  ny_ = std::max(1, static_cast<int>(std::ceil((bb.height() + 1e-9) / cell_)));
-  buckets_.resize(static_cast<std::size_t>(nx_) * ny_);
+  const int nx =
+      std::max(1, static_cast<int>(std::ceil((bb.width() + 1e-9) / cell_)));
+  const int ny =
+      std::max(1, static_cast<int>(std::ceil((bb.height() + 1e-9) / cell_)));
+  if (nx == nx_ && ny == ny_ && !buckets_.empty()) {
+    for (auto& bucket : buckets_) bucket.clear();  // keep capacity
+  } else {
+    nx_ = nx;
+    ny_ = ny;
+    buckets_.assign(static_cast<std::size_t>(nx_) * ny_, {});
+  }
   for (int i = 0; i < static_cast<int>(points_.size()); ++i) {
     auto [cx, cy] = cell_of(points_[i]);
     buckets_[cell_index(cx, cy)].push_back(i);

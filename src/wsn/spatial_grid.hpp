@@ -12,10 +12,20 @@ namespace laacad::wsn {
 
 class SpatialGrid {
  public:
+  /// Empty grid; every query returns nothing until rebuild() is called.
+  SpatialGrid() = default;
+
   /// Build over a fixed snapshot of positions. `cell_size` should be on the
-  /// order of the typical query radius; callers rebuild per round (positions
+  /// order of the typical query radius; callers re-bin per round (positions
   /// move every round anyway).
   SpatialGrid(const std::vector<geom::Vec2>& points, double cell_size);
+
+  /// Re-bin over a new snapshot without reallocating: bucket storage is
+  /// reused whenever the grid dimensions are unchanged (the common case
+  /// between consecutive rounds, where nodes move a fraction of a cell).
+  /// Queries issued concurrently with rebuild() are undefined — callers
+  /// synchronize (see Network::grid()).
+  void rebuild(const std::vector<geom::Vec2>& points, double cell_size);
 
   /// Indices of points with dist(p, q) <= radius (including any point equal
   /// to q itself).

@@ -220,5 +220,68 @@ TEST(Engine, HistoryRecordsRounds) {
   EXPECT_EQ(res.history.back().moved, 0);
 }
 
+// ---------------------------------------------------------- providers ----
+
+TEST(Engine, ExplicitGlobalProviderMatchesDefault) {
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(15);
+  const auto initial = wsn::deploy_uniform(d, 15, rng);
+
+  wsn::Network a(&d, initial, 60.0);
+  RunResult ra = Engine(a, quick_config(2)).run();
+
+  wsn::Network b(&d, initial, 60.0);
+  LaacadConfig cfg = quick_config(2);
+  cfg.provider = make_global_provider(cfg.adaptive);
+  RunResult rb = Engine(b, cfg).run();
+
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  EXPECT_EQ(ra.final_max_range, rb.final_max_range);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.position(i).x, b.position(i).x) << "node " << i;
+    EXPECT_EQ(a.position(i).y, b.position(i).y) << "node " << i;
+  }
+}
+
+// A stub provider — the interface is the test seam: hand every node the
+// same fixed square, and Algorithm 1 must march all nodes toward that
+// square's Chebyshev center regardless of any Voronoi machinery.
+class StubSquareProvider final : public RegionProvider {
+ public:
+  explicit StubSquareProvider(geom::BBox box) : box_(box) {}
+
+  void begin_round(wsn::Network&, int, std::uint64_t) override {}
+
+  RegionOutput compute(wsn::NodeId) const override {
+    RegionOutput out;
+    vor::OrderKCell cell;
+    cell.gens = {0};
+    cell.poly = geom::box_ring(box_);
+    out.cells.push_back(std::move(cell));
+    return out;
+  }
+
+  std::string_view name() const override { return "stub-square"; }
+
+ private:
+  geom::BBox box_;
+};
+
+TEST(Engine, StubProviderDrivesNodesToItsChebyshevCenter) {
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  wsn::Network net(&d, {{10, 10}, {190, 10}, {100, 190}}, 60.0);
+
+  LaacadConfig cfg = quick_config(1);
+  cfg.provider = std::make_shared<StubSquareProvider>(
+      geom::BBox{{40, 40}, {80, 80}});
+  Engine engine(net, cfg);
+  RunResult res = engine.run();
+  EXPECT_TRUE(res.converged);
+  for (int i = 0; i < net.size(); ++i) {
+    EXPECT_NEAR(net.position(i).x, 60.0, cfg.epsilon + 1e-9) << "node " << i;
+    EXPECT_NEAR(net.position(i).y, 60.0, cfg.epsilon + 1e-9) << "node " << i;
+  }
+}
+
 }  // namespace
 }  // namespace laacad::core

@@ -136,8 +136,8 @@ TEST(Localized, EngineLocalizedBackendConvergesAndCovers) {
   cfg.alpha = 0.8;
   cfg.epsilon = 1.0;
   cfg.max_rounds = 200;
-  cfg.backend = RegionBackend::kLocalized;
   cfg.localized.max_hops = 8;
+  cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
   Engine engine(net, cfg);
   RunResult res = engine.run();
   EXPECT_TRUE(res.converged);
@@ -156,8 +156,8 @@ TEST(Localized, RobustToMildRangingNoise) {
   cfg.k = 1;
   cfg.epsilon = 1.0;
   cfg.max_rounds = 200;
-  cfg.backend = RegionBackend::kLocalized;
   cfg.localized.frame.range_noise = 0.02;  // 2% ranging error
+  cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
   Engine engine(net, cfg);
   RunResult res = engine.run();
   // Noisy localization distorts the computed regions, so exact coverage can

@@ -1,0 +1,109 @@
+// common::ThreadPool / parallel_for: partition coverage, exception
+// propagation, nested-use rejection, and the 0/1/N worker-count contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace laacad::common {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (int n : {0, 1, 2, 7, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      pool.run(n, [&](int i) { ++hits[static_cast<std::size_t>(i)]; });
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  std::atomic<int> sum{0};
+  pool.run(1000, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPool, NegativeThreadCountRejected) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, PropagatesLowestChunkException) {
+  // Multiple chunks throw; the rethrown exception must be the one from the
+  // lowest-indexed chunk (deterministic regardless of timing). With 4
+  // threads and n = 4 each chunk is a single index.
+  ThreadPool pool(4);
+  try {
+    pool.run(4, [](int i) {
+      if (i >= 2) throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(8, [](int) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run(8, [&](int) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunRejected) {
+  ThreadPool pool(2);
+  std::atomic<bool> nested_threw{false};
+  pool.run(2, [&](int) {
+    try {
+      pool.run(2, [](int) {});
+    } catch (const std::logic_error&) {
+      nested_threw = true;
+    }
+  });
+  EXPECT_TRUE(nested_threw.load());
+}
+
+TEST(ParallelFor, NullPoolRunsSerially) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, SingleThreadPoolMatchesSerialOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(&pool, 5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // Index-addressed writes must land identically for every pool size.
+  const int n = 257;
+  std::vector<double> reference(static_cast<std::size_t>(n));
+  parallel_for(nullptr, n,
+               [&](int i) { reference[static_cast<std::size_t>(i)] =
+                                static_cast<double>(i) * 1.5 + 1.0; });
+  for (int threads : {2, 5, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(static_cast<std::size_t>(n));
+    parallel_for(&pool, n, [&](int i) {
+      out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace laacad::common

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "common/stats.hpp"
 #include "wsn/boundary.hpp"
@@ -75,6 +76,42 @@ TEST(SpatialGrid, KLargerThanPopulation) {
   EXPECT_EQ(grid.k_nearest({0, 0}, 10).size(), 2u);
 }
 
+TEST(SpatialGrid, DefaultConstructedIsEmpty) {
+  SpatialGrid grid;
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.within({0, 0}, 100.0).empty());
+  EXPECT_TRUE(grid.k_nearest({0, 0}, 3).empty());
+}
+
+TEST(SpatialGrid, RebuildMatchesFreshConstruction) {
+  // Re-binning in place (same dims, shifted dims, grown population) must be
+  // indistinguishable from constructing a fresh grid over the new snapshot.
+  Rng rng(17);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  SpatialGrid reused(pts, 10.0);
+
+  for (int round = 0; round < 5; ++round) {
+    for (Vec2& p : pts) {  // jiggle within a fraction of a cell
+      p.x += rng.uniform(-2.0, 2.0);
+      p.y += rng.uniform(-2.0, 2.0);
+    }
+    if (round == 3)  // population change forces a dimension change
+      for (int i = 0; i < 50; ++i)
+        pts.push_back({rng.uniform(-50, 150), rng.uniform(-50, 150)});
+    reused.rebuild(pts, 10.0);
+    const SpatialGrid fresh(pts, 10.0);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vec2 q{rng.uniform(0, 100), rng.uniform(0, 100)};
+      const double r = rng.uniform(1.0, 30.0);
+      EXPECT_EQ(reused.within(q, r), fresh.within(q, r));
+      EXPECT_EQ(reused.k_nearest(q, 5), fresh.k_nearest(q, 5));
+    }
+  }
+}
+
 // ------------------------------------------------------------- network ----
 
 TEST(Network, PositionsProjectedIntoDomain) {
@@ -112,6 +149,36 @@ TEST(Network, MoveInvalidatesQueries) {
   auto nb = net.one_hop_neighbors(0);
   ASSERT_EQ(nb.size(), 1u);
   EXPECT_EQ(nb[0], 1);
+}
+
+TEST(Network, ConcurrentQueriesAfterMoveAgree) {
+  // The lazy grid may be rebuilt by whichever reader arrives first; all
+  // concurrent readers must see the post-move positions.
+  Domain d = Domain::rectangle(200, 200);
+  Rng rng(19);
+  Network net(&d, deploy_uniform(d, 60, rng), 40.0);
+  (void)net.one_hop_neighbors(0);  // build once
+  for (int i = 0; i < net.size(); ++i) {
+    const Vec2 p = net.position(i);
+    net.set_position(i, {p.x + 1.0, p.y + 1.0});  // grid now stale
+  }
+
+  std::vector<std::vector<int>> results(8);
+  {
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 8; ++t) {
+      readers.emplace_back([&net, &results, t] {
+        results[static_cast<std::size_t>(t)] =
+            net.nodes_within({100, 100}, 60.0);
+      });
+    }
+    for (std::thread& t : readers) t.join();
+  }
+  for (int t = 1; t < 8; ++t)
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+
+  // And they match a serial query against the same positions.
+  EXPECT_EQ(net.nodes_within({100, 100}, 60.0), results[0]);
 }
 
 // ---------------------------------------------------------- deployment ----
