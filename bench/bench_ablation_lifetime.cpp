@@ -49,7 +49,7 @@ void experiment() {
     wsn::Network net(&domain, init, 100.0);
     core::LaacadConfig cfg;
     cfg.k = k;
-    cfg.max_rounds = 0;
+    // No run(): finalize() alone assigns cell circumradii without motion.
     core::Engine engine(net, cfg);
     engine.finalize();
     double rstar = 0.0;

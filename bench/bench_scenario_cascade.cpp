@@ -1,0 +1,56 @@
+// Scenario-engine bench: the full cascade timeline (fail → drain → targeted
+// fail, redeploying after each) as a one-shot experiment, so the wall-clock
+// cost of dynamic-network runs is tracked alongside the static figures.
+// LAACAD_THREADS parallelizes the round loop; phase metrics are identical
+// for every value.
+#include "bench_common.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using namespace laacad;
+
+constexpr const char* kCascadeSpec = R"(
+name      bench_cascade
+domain    square
+side      300
+nodes     40
+k         2
+seed      7
+max_rounds 250
+battery   2.0e6
+event converged fail_nodes count=6 pick=random
+event converged drain_battery epochs=40
+event converged fail_nodes count=4 pick=max_range
+)";
+
+void run_cascade() {
+  scenario::ScenarioSpec spec = scenario::parse_scenario_string(kCascadeSpec);
+  spec.num_threads = benchutil::num_threads();
+  scenario::ScenarioRunner runner(std::move(spec));
+  const scenario::ScenarioResult result = runner.run();
+
+  TextTable table({"phase", "cause", "rounds", "nodes", "R* (m)", "fairness",
+                   "min depth"});
+  for (const auto& p : result.phases) {
+    table.add_row({std::to_string(p.phase), p.cause,
+                   std::to_string(p.rounds), std::to_string(p.nodes),
+                   TextTable::num(p.final_max_range, 2),
+                   TextTable::num(p.load.fairness, 4),
+                   std::to_string(p.coverage_min_depth)});
+  }
+  benchutil::TableSink::instance().add("scenario cascade — phase metrics",
+                                       std::move(table));
+  benchutil::TableSink::instance().note(
+      std::string("final 2-coverage: ") +
+      (result.final_coverage_ok ? "OK" : "LOST") + ", total rounds " +
+      std::to_string(result.total_rounds));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laacad::benchutil::register_experiment("scenario/cascade", run_cascade);
+  return laacad::benchutil::run_main(argc, argv);
+}

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <cmath>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "common/csv.hpp"
@@ -106,41 +107,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // -- Build the domain ----------------------------------------------------
+  // -- Domain and initial deployment (shared with the scenario engine) -----
   wsn::Domain domain;
-  if (opt.domain == "square") domain = wsn::Domain::rectangle(opt.side, opt.side);
-  else if (opt.domain == "lshape") domain = wsn::Domain::lshape(opt.side, opt.side);
-  else if (opt.domain == "cross") domain = wsn::Domain::cross(opt.side, opt.side, 0.4);
-  else {
-    std::fprintf(stderr, "unknown domain shape '%s'\n", opt.domain.c_str());
-    return 2;
-  }
-  if (opt.hole) {
-    domain = domain.with_rect_hole({opt.side * 0.30, opt.side * 0.30},
-                                   {opt.side * 0.45, opt.side * 0.45});
-  }
-
-  // -- Initial deployment --------------------------------------------------
-  Rng rng(opt.seed);
   std::vector<geom::Vec2> init;
-  if (opt.deploy == "uniform") init = wsn::deploy_uniform(domain, opt.nodes, rng);
-  else if (opt.deploy == "corner") init = wsn::deploy_corner(domain, opt.nodes, rng);
-  else if (opt.deploy == "gaussian") {
-    init = wsn::deploy_gaussian(domain, opt.nodes, domain.bbox().center(),
-                                opt.side / 6.0, rng);
-  } else {
-    std::fprintf(stderr, "unknown deployment '%s'\n", opt.deploy.c_str());
+  Rng rng(opt.seed);
+  try {
+    domain = wsn::make_named_domain(opt.domain, opt.side, opt.hole);
+    init = wsn::deploy_named(domain, opt.deploy, opt.nodes, opt.side, rng);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  // Auto transmission range: density-aware so the disk graph stays well
-  // connected (~9 expected one-hop neighbours) even for sparse populations.
-  const double gamma =
-      opt.gamma > 0.0
-          ? opt.gamma
-          : std::max(opt.side / 6.0,
-                     1.7 * std::sqrt(domain.area() /
-                                     std::max(opt.nodes, 1)));
+  const double gamma = opt.gamma > 0.0
+                           ? opt.gamma
+                           : wsn::auto_comm_range(domain, opt.nodes, opt.side);
   wsn::Network net(&domain, init, gamma);
   if (!opt.svg_prefix.empty())
     viz::render_deployment(opt.svg_prefix + "_initial.svg", net);

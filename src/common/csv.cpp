@@ -6,11 +6,24 @@ namespace {
 void write_row(std::ofstream& out, const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out << ',';
-    out << cells[i];
+    out << CsvWriter::escape(cells[i]);
   }
   out << '\n';
 }
 }  // namespace
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)

@@ -19,6 +19,11 @@ class CsvWriter {
   void add_row(const std::vector<std::string>& row);
   bool ok() const { return static_cast<bool>(out_); }
 
+  /// RFC-4180 field escaping: fields containing a comma, quote, CR, or LF
+  /// are wrapped in quotes with embedded quotes doubled; all other fields
+  /// pass through unchanged. Applied to every header/row cell on write.
+  static std::string escape(const std::string& field);
+
  private:
   std::ofstream out_;
   std::size_t columns_;

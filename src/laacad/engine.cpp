@@ -10,15 +10,43 @@ using geom::Vec2;
 
 Engine::Engine(wsn::Network& net, LaacadConfig cfg)
     : net_(&net), cfg_(std::move(cfg)) {
-  if (cfg_.k <= 0) throw std::invalid_argument("k must be positive");
+  // Validate the whole config up front with messages naming the field and
+  // its constraint — a bad epsilon or max_rounds silently produced a
+  // zero-round "run" before, which looked like instant convergence.
+  if (cfg_.k <= 0)
+    throw std::invalid_argument("LaacadConfig: k must be >= 1, got " +
+                                std::to_string(cfg_.k));
   if (net.size() < cfg_.k)
-    throw std::invalid_argument("need at least k nodes for k-coverage");
+    throw std::invalid_argument(
+        "LaacadConfig: need at least k nodes for k-coverage (k=" +
+        std::to_string(cfg_.k) + ", nodes=" + std::to_string(net.size()) +
+        ")");
   if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0)
-    throw std::invalid_argument("alpha must be in (0, 1]");
+    throw std::invalid_argument("LaacadConfig: alpha must be in (0, 1], got " +
+                                std::to_string(cfg_.alpha));
+  if (cfg_.epsilon <= 0.0)
+    throw std::invalid_argument("LaacadConfig: epsilon must be > 0, got " +
+                                std::to_string(cfg_.epsilon));
+  if (cfg_.max_rounds <= 0)
+    throw std::invalid_argument("LaacadConfig: max_rounds must be >= 1, got " +
+                                std::to_string(cfg_.max_rounds));
+  if (cfg_.num_threads < 0)
+    throw std::invalid_argument(
+        "LaacadConfig: num_threads must be >= 0 (0 = hardware), got " +
+        std::to_string(cfg_.num_threads));
   provider_ = cfg_.provider ? cfg_.provider
                             : make_global_provider(cfg_.adaptive);
   if (cfg_.num_threads != 1)
     pool_ = std::make_unique<common::ThreadPool>(cfg_.num_threads);
+}
+
+void Engine::begin_phase() {
+  if (net_->size() < cfg_.k)
+    throw std::invalid_argument(
+        "Engine::begin_phase: network dropped below k nodes (k=" +
+        std::to_string(cfg_.k) + ", nodes=" + std::to_string(net_->size()) +
+        ")");
+  round_ = 0;  // epoch_ deliberately keeps counting across phases
 }
 
 std::vector<DominatingRegion> Engine::compute_all_regions(

@@ -82,6 +82,15 @@ class Engine {
   /// final sensing ranges and returns the full record.
   RunResult run();
 
+  /// Re-arm the convergence loop after an external network change (node
+  /// failures/arrivals, a domain swap): resets the round counter so run()
+  /// gets a fresh max_rounds allowance and re-checks that the mutated
+  /// network still has at least k nodes. Providers re-snapshot every round
+  /// and the epoch counter keeps increasing monotonically, so randomized
+  /// providers never replay a phase's noise streams. Used by the scenario
+  /// engine to drive redeployment phases between disruptions.
+  void begin_phase();
+
   /// Recompute regions at the current positions and set each node's sensing
   /// range to its region circumradius about its position.
   void finalize();
@@ -92,6 +101,8 @@ class Engine {
 
   const LaacadConfig& config() const { return cfg_; }
   const RegionProvider& provider() const { return *provider_; }
+  /// Rounds executed in the current phase (since construction or the last
+  /// begin_phase()).
   int rounds_executed() const { return round_; }
 
  private:

@@ -1,0 +1,423 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json_writer.hpp"
+#include "coverage/grid_checker.hpp"
+#include "wsn/connectivity.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+
+namespace laacad::scenario {
+
+namespace {
+
+double auto_gamma(const ScenarioSpec& spec, const wsn::Domain& domain) {
+  if (spec.gamma > 0.0) return spec.gamma;
+  return wsn::auto_comm_range(domain, spec.nodes, spec.side);
+}
+
+geom::Vec2 bbox_point(const wsn::Domain& domain, geom::Vec2 fraction) {
+  const geom::BBox bb = domain.bbox();
+  return {bb.lo.x + fraction.x * bb.width(),
+          bb.lo.y + fraction.y * bb.height()};
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  validate(spec_);
+  domains_.push_back(std::make_unique<wsn::Domain>(
+      wsn::make_named_domain(spec_.domain, spec_.side, spec_.hole)));
+  const wsn::Domain& domain = *domains_.back();
+
+  net_ = std::make_unique<wsn::Network>(
+      &domain,
+      wsn::deploy_named(domain, spec_.deploy, spec_.nodes, spec_.side, rng_),
+      auto_gamma(spec_, domain));
+  battery_.assign(static_cast<std::size_t>(net_->size()), spec_.battery);
+
+  core::LaacadConfig cfg;
+  cfg.k = spec_.k;
+  cfg.alpha = spec_.alpha;
+  cfg.epsilon = spec_.epsilon;
+  cfg.max_rounds = spec_.max_rounds;
+  cfg.seed = spec_.seed;
+  cfg.num_threads = spec_.num_threads;
+  if (spec_.backend == "localized") {
+    cfg.localized.max_hops = spec_.max_hops;
+    cfg.localized.frame.range_noise = spec_.noise;
+    cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
+  }
+  engine_ = std::make_unique<core::Engine>(*net_, cfg);
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+PhaseRecord ScenarioRunner::run_phase(int phase_idx, const std::string& cause,
+                                      int next_event) {
+  PhaseRecord rec;
+  rec.phase = phase_idx;
+  rec.cause = cause;
+  rec.start_round = global_round_;
+
+  const Event* pending =
+      next_event < static_cast<int>(spec_.events.size())
+          ? &spec_.events[static_cast<std::size_t>(next_event)]
+          : nullptr;
+  while (engine_->rounds_executed() < spec_.max_rounds) {
+    // A round-scheduled disruption interrupts the phase, converged or not.
+    if (pending && pending->trigger == Trigger::kAtRound &&
+        global_round_ >= pending->round)
+      break;
+    core::RoundMetrics m = engine_->step();
+    ++global_round_;
+    const bool done = (m.moved == 0);
+    rec.history.push_back(std::move(m));
+    if (done) {
+      rec.converged = true;
+      break;
+    }
+  }
+  rec.rounds = static_cast<int>(rec.history.size());
+
+  // Tune sensing ranges for the current positions, then verify what this
+  // phase actually delivers: k-coverage, load balance, connectivity.
+  engine_->finalize();
+  rec.nodes = net_->size();
+  double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+  for (const wsn::Node& n : net_->nodes()) {
+    rmax = std::max(rmax, n.sensing_range);
+    rmin = std::min(rmin, n.sensing_range);
+  }
+  rec.final_max_range = rmax;
+  rec.final_min_range = std::isfinite(rmin) ? rmin : 0.0;
+  rec.load = wsn::load_report(*net_);
+
+  const auto coverage = cov::grid_coverage(
+      domain(), cov::sensing_disks(*net_), spec_.grid_resolution,
+      std::max(8, spec_.k));
+  rec.coverage_min_depth = coverage.min_depth;
+  rec.coverage_mean_depth = coverage.mean_depth;
+  rec.covered_fraction_k = coverage.fraction_at_least(spec_.k);
+
+  rec.components =
+      rmax > 0.0 ? wsn::analyze_connectivity(*net_, 1.25 * rmax).components
+                 : net_->size();
+
+  if (!battery_.empty()) {
+    rec.battery_min = *std::min_element(battery_.begin(), battery_.end());
+    rec.battery_mean =
+        std::accumulate(battery_.begin(), battery_.end(), 0.0) /
+        static_cast<double>(battery_.size());
+  }
+  return rec;
+}
+
+void ScenarioRunner::remove_nodes_desc(std::vector<int> ids) {
+  std::sort(ids.begin(), ids.end(), std::greater<int>());
+  for (int id : ids) {
+    net_->remove_node(id);
+    battery_.erase(battery_.begin() + id);
+  }
+}
+
+EventRecord ScenarioRunner::apply_event(const Event& ev, int index) {
+  EventRecord rec;
+  rec.index = index;
+  rec.type = to_string(ev.type);
+  rec.global_round = global_round_;
+  rec.nodes_before = net_->size();
+  const int n = net_->size();
+
+  switch (ev.type) {
+    case EventType::kFailNodes: {
+      std::vector<int> doomed;
+      if (ev.pick == "region") {
+        const geom::Vec2 lo = bbox_point(domain(), ev.lo);
+        const geom::Vec2 hi = bbox_point(domain(), ev.hi);
+        for (int i = 0; i < n; ++i) {
+          const geom::Vec2 p = net_->position(i);
+          if (p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y)
+            doomed.push_back(i);
+        }
+        if (ev.count > 0 && static_cast<int>(doomed.size()) > ev.count)
+          doomed.resize(static_cast<std::size_t>(ev.count));
+      } else if (ev.pick == "max_range") {
+        std::vector<int> ids(static_cast<std::size_t>(n));
+        std::iota(ids.begin(), ids.end(), 0);
+        std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+          const double ra = net_->node(a).sensing_range;
+          const double rb = net_->node(b).sensing_range;
+          return ra != rb ? ra > rb : a < b;
+        });
+        ids.resize(static_cast<std::size_t>(std::min(ev.count, n)));
+        doomed = std::move(ids);
+      } else {  // random: Fisher–Yates prefix over node ids
+        std::vector<int> ids(static_cast<std::size_t>(n));
+        std::iota(ids.begin(), ids.end(), 0);
+        const int want = std::min(ev.count, n);
+        for (int i = 0; i < want; ++i) {
+          const int j = rng_.uniform_int(i, n - 1);
+          std::swap(ids[static_cast<std::size_t>(i)],
+                    ids[static_cast<std::size_t>(j)]);
+        }
+        ids.resize(static_cast<std::size_t>(want));
+        doomed = std::move(ids);
+      }
+      const int killed = static_cast<int>(doomed.size());
+      remove_nodes_desc(std::move(doomed));
+      rec.detail = "removed " + std::to_string(killed) + " nodes (" +
+                   ev.pick + ")";
+      break;
+    }
+    case EventType::kDrainBattery: {
+      std::vector<int> depleted;
+      for (int i = 0; i < n; ++i) {
+        const double drain =
+            ev.epochs * wsn::sensing_energy(net_->node(i).sensing_range) +
+            ev.fraction * spec_.battery;
+        battery_[static_cast<std::size_t>(i)] -= drain;
+        if (battery_[static_cast<std::size_t>(i)] <= 0.0)
+          depleted.push_back(i);
+      }
+      const int killed = static_cast<int>(depleted.size());
+      remove_nodes_desc(std::move(depleted));
+      rec.detail = "drained batteries; " + std::to_string(killed) +
+                   " nodes depleted";
+      break;
+    }
+    case EventType::kAddNodes: {
+      std::vector<geom::Vec2> fresh;
+      if (ev.deploy == "uniform")
+        fresh = wsn::deploy_uniform(domain(), ev.count, rng_);
+      else if (ev.deploy == "corner")
+        fresh = wsn::deploy_corner(domain(), ev.count, rng_);
+      else
+        fresh = wsn::deploy_gaussian(domain(), ev.count,
+                                     bbox_point(domain(), ev.at),
+                                     ev.sigma * domain().bbox().width(), rng_);
+      for (const geom::Vec2& p : fresh) {
+        net_->add_node(p);
+        battery_.push_back(spec_.battery);
+      }
+      rec.detail = "added " + std::to_string(ev.count) + " nodes (" +
+                   ev.deploy + ")";
+      break;
+    }
+    case EventType::kResizeBoundary: {
+      const geom::Vec2 anchor = domain().bbox().lo;
+      geom::Ring outer = domain().outer();
+      for (geom::Vec2& v : outer) v = anchor + (v - anchor) * ev.scale;
+      std::vector<geom::Ring> holes = domain().holes();
+      for (geom::Ring& hole : holes)
+        for (geom::Vec2& v : hole) v = anchor + (v - anchor) * ev.scale;
+      domains_.push_back(
+          std::make_unique<wsn::Domain>(std::move(outer), std::move(holes)));
+      net_->rebind_domain(domains_.back().get());
+      rec.detail = "boundary scaled by " +
+                   JsonWriter::number_to_string(ev.scale);
+      break;
+    }
+    case EventType::kJamRegion: {
+      const geom::Vec2 lo = bbox_point(domain(), ev.lo);
+      const geom::Vec2 hi = bbox_point(domain(), ev.hi);
+      // The spec rect is in bbox fractions, so on a non-rectangular domain
+      // it can spill outside the outer ring; clip it first to honour the
+      // Domain precondition that holes lie inside the outer ring. An
+      // out-of-domain or overlapping jam is a scenario-author error —
+      // reject it loudly rather than corrupt area bookkeeping.
+      const geom::Ring rect = geom::box_ring({lo, hi});
+      const geom::Ring hole =
+          geom::dedupe_ring(geom::sutherland_hodgman(domain().outer(), rect));
+      if (geom::area(hole) <= 1e-6)
+        throw std::runtime_error(
+            "jam_region (spec line " + std::to_string(ev.line) +
+            "): rectangle lies outside the domain");
+      for (const geom::Ring& existing : domain().holes()) {
+        const geom::Ring overlap =
+            geom::dedupe_ring(geom::sutherland_hodgman(existing, rect));
+        if (geom::area(overlap) > 1e-6)
+          throw std::runtime_error(
+              "jam_region (spec line " + std::to_string(ev.line) +
+              "): rectangle overlaps an existing obstacle");
+      }
+      std::vector<geom::Ring> holes = domain().holes();
+      holes.push_back(hole);
+      auto jammed =
+          std::make_unique<wsn::Domain>(domain().outer(), std::move(holes));
+      // Something must remain to cover: a jam swallowing (essentially) the
+      // whole domain would leave every node infeasible.
+      if (jammed->area() <= 1e-6)
+        throw std::runtime_error(
+            "jam_region (spec line " + std::to_string(ev.line) +
+            "): no coverage area remains after the jam");
+      domains_.push_back(std::move(jammed));
+      net_->rebind_domain(domains_.back().get());
+      rec.detail = "jammed rectangle (" + JsonWriter::number_to_string(lo.x) +
+                   ", " + JsonWriter::number_to_string(lo.y) + ")-(" +
+                   JsonWriter::number_to_string(hi.x) + ", " +
+                   JsonWriter::number_to_string(hi.y) + ")";
+      break;
+    }
+  }
+
+  rec.nodes_after = net_->size();
+  return rec;
+}
+
+ScenarioResult ScenarioRunner::run() {
+  ScenarioResult result;
+  result.spec = spec_;
+  result.resolved_gamma = net_->gamma();
+
+  int next_event = 0;
+  std::string cause = "initial";
+  for (int phase_idx = 0;; ++phase_idx) {
+    result.phases.push_back(run_phase(phase_idx, cause, next_event));
+
+    if (next_event >= static_cast<int>(spec_.events.size())) break;
+    const Event& ev = spec_.events[static_cast<std::size_t>(next_event)];
+
+    // A converged network idles (no movement, no round cost) until a
+    // round-scheduled disruption arrives: fast-forward the clock.
+    int idle = 0;
+    if (ev.trigger == Trigger::kAtRound && global_round_ < ev.round) {
+      idle = ev.round - global_round_;
+      global_round_ = ev.round;
+    }
+    // apply_event stamps global_round after the fast-forward above.
+    EventRecord erec = apply_event(ev, next_event);
+    erec.idle_rounds = idle;
+    result.events.push_back(std::move(erec));
+    ++next_event;
+
+    if (net_->size() < spec_.k) {
+      result.aborted = true;
+      result.abort_reason =
+          "network dropped below k nodes (k=" + std::to_string(spec_.k) +
+          ", nodes=" + std::to_string(net_->size()) + ")";
+      break;
+    }
+    engine_->begin_phase();
+    cause = to_string(ev.type);
+  }
+
+  result.total_rounds = global_round_;
+  result.all_converged =
+      std::all_of(result.phases.begin(), result.phases.end(),
+                  [](const PhaseRecord& p) { return p.converged; });
+  result.final_coverage_ok =
+      !result.aborted &&
+      result.phases.back().coverage_min_depth >= spec_.k;
+  return result;
+}
+
+void ScenarioResult::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "laacad.scenario.v1");
+  w.kv("scenario", spec.name);
+
+  w.key("config").begin_object();
+  w.kv("domain", spec.domain);
+  w.kv("side", spec.side);
+  w.kv("hole", spec.hole);
+  w.kv("deploy", spec.deploy);
+  w.kv("nodes", spec.nodes);
+  w.kv("k", spec.k);
+  w.kv("alpha", spec.alpha);
+  w.kv("epsilon", spec.epsilon);
+  w.kv("max_rounds", spec.max_rounds);
+  w.kv("gamma", spec.gamma);  // 0 = auto; see gamma_used for the real value
+  w.kv("gamma_used", resolved_gamma);
+  w.kv("backend", spec.backend);
+  if (spec.backend == "localized") {
+    w.kv("max_hops", spec.max_hops);
+    w.kv("noise", spec.noise);
+  }
+  w.kv("seed", spec.seed);
+  w.kv("battery", spec.battery);
+  w.kv("grid_resolution", spec.grid_resolution);
+  w.end_object();
+
+  w.key("phases").begin_array();
+  for (const PhaseRecord& p : phases) {
+    w.begin_object();
+    w.kv("phase", p.phase);
+    w.kv("cause", p.cause);
+    w.kv("start_round", p.start_round);
+    w.kv("rounds", p.rounds);
+    w.kv("converged", p.converged);
+    w.kv("nodes", p.nodes);
+    w.kv("final_max_range", p.final_max_range);
+    w.kv("final_min_range", p.final_min_range);
+    w.key("load").begin_object();
+    w.kv("max", p.load.max_load);
+    w.kv("min", p.load.min_load);
+    w.kv("total", p.load.total_load);
+    w.kv("fairness", p.load.fairness);
+    w.end_object();
+    w.key("coverage").begin_object();
+    w.kv("min_depth", p.coverage_min_depth);
+    w.kv("mean_depth", p.coverage_mean_depth);
+    w.kv("fraction_at_k", p.covered_fraction_k);
+    w.end_object();
+    w.kv("components", p.components);
+    w.key("battery").begin_object();
+    w.kv("min", p.battery_min);
+    w.kv("mean", p.battery_mean);
+    w.end_object();
+    w.key("history").begin_array();
+    for (const core::RoundMetrics& m : p.history) {
+      w.begin_object();
+      w.kv("round", m.round);
+      w.kv("max_circumradius", m.max_circumradius);
+      w.kv("min_circumradius", m.min_circumradius);
+      w.kv("max_hat_radius", m.max_hat_radius);
+      w.kv("max_move", m.max_move);
+      w.kv("moved", m.moved);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("events").begin_array();
+  for (const EventRecord& e : events) {
+    w.begin_object();
+    w.kv("index", e.index);
+    w.kv("type", e.type);
+    w.kv("global_round", e.global_round);
+    w.kv("idle_rounds", e.idle_rounds);
+    w.kv("nodes_before", e.nodes_before);
+    w.kv("nodes_after", e.nodes_after);
+    w.kv("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("summary").begin_object();
+  w.kv("phases", static_cast<std::int64_t>(phases.size()));
+  w.kv("events_fired", static_cast<std::int64_t>(events.size()));
+  w.kv("total_rounds", total_rounds);
+  w.kv("final_nodes", phases.empty() ? 0 : phases.back().nodes);
+  w.kv("all_converged", all_converged);
+  w.kv("final_coverage_ok", final_coverage_ok);
+  w.kv("aborted", aborted);
+  if (aborted) w.kv("abort_reason", abort_reason);
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace laacad::scenario

@@ -1,0 +1,110 @@
+// ScenarioRunner — executes a ScenarioSpec as a sequence of *redeployment
+// phases* separated by disruption events.
+//
+// Phase 0 runs LAACAD from the initial deployment. Each event then mutates
+// the live network (failures, drain, arrivals, a new domain) and the engine
+// is re-armed (Engine::begin_phase) so the survivors autonomously
+// re-balance k-coverage — the dynamic behaviour the paper claims but a
+// single static run cannot exhibit. After every phase the runner verifies
+// coverage with cov::grid_coverage, records load balance and connectivity,
+// and the whole record serializes to a BENCH_*.json metrics file through
+// common/json_writer.
+//
+// Determinism: event randomness comes from one seeded Rng consumed in spec
+// order, the engine is bit-identical for every num_threads, and JSON
+// numbers print exactly — so the emitted metrics are byte-identical across
+// thread counts (num_threads is never serialized).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "laacad/engine.hpp"
+#include "scenario/spec.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::scenario {
+
+/// One redeployment phase: LAACAD rounds between two disruptions (or from
+/// the initial deployment / to scenario end).
+struct PhaseRecord {
+  int phase = 0;
+  std::string cause;    ///< "initial" or the event type that started it
+  int start_round = 0;  ///< global round count when the phase began
+  int rounds = 0;       ///< rounds executed in this phase
+  bool converged = false;
+  int nodes = 0;        ///< network size at phase end
+  double final_max_range = 0.0;
+  double final_min_range = 0.0;
+  wsn::LoadReport load;
+  int coverage_min_depth = 0;
+  double coverage_mean_depth = 0.0;
+  double covered_fraction_k = 0.0;  ///< area fraction with depth >= k
+  int components = 0;               ///< radio graph at 1.25 R*
+  double battery_min = 0.0;
+  double battery_mean = 0.0;
+  std::vector<core::RoundMetrics> history;
+};
+
+/// One applied disruption.
+struct EventRecord {
+  int index = 0;         ///< position in the spec timeline
+  std::string type;
+  int global_round = 0;  ///< when it fired
+  int idle_rounds = 0;   ///< converged rounds skipped waiting for round=N
+  int nodes_before = 0;
+  int nodes_after = 0;
+  std::string detail;    ///< human-readable summary ("removed 6 nodes", ...)
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  double resolved_gamma = 0.0;  ///< comm range actually used (auto or spec)
+  std::vector<PhaseRecord> phases;
+  std::vector<EventRecord> events;
+  int total_rounds = 0;
+  bool all_converged = false;  ///< every phase converged within max_rounds
+  bool final_coverage_ok = false;  ///< last phase min depth >= k
+  bool aborted = false;            ///< timeline cut short (e.g. nodes < k)
+  std::string abort_reason;
+
+  /// Serialize the full record (config echo, per-phase metrics with round
+  /// history, event log, summary) as a JSON document. Excludes execution
+  /// details (thread count), so output is byte-identical across threads.
+  void write_json(std::ostream& out) const;
+};
+
+class ScenarioRunner {
+ public:
+  /// Validates the spec (scenario::validate) and builds the initial
+  /// deployment; throws std::runtime_error on a bad spec.
+  explicit ScenarioRunner(ScenarioSpec spec);
+  ~ScenarioRunner();
+
+  /// Execute the full timeline. Call once.
+  ScenarioResult run();
+
+  /// Deployment state after (or during) run — for tests and visualization.
+  const wsn::Network& network() const { return *net_; }
+  const wsn::Domain& domain() const { return *domains_.back(); }
+
+ private:
+  PhaseRecord run_phase(int phase_idx, const std::string& cause,
+                        int next_event);
+  EventRecord apply_event(const Event& ev, int index);
+  void remove_nodes_desc(std::vector<int> ids);  ///< ids need not be sorted
+
+  ScenarioSpec spec_;
+  /// Domains are appended by resize/jam events; earlier entries stay alive
+  /// because positions were projected under them mid-run. Back is current.
+  std::vector<std::unique_ptr<wsn::Domain>> domains_;
+  std::unique_ptr<wsn::Network> net_;
+  std::unique_ptr<core::Engine> engine_;
+  std::vector<double> battery_;  ///< parallel to net_->nodes()
+  Rng rng_;                      ///< deployment + event randomness, in order
+  int global_round_ = 0;
+};
+
+}  // namespace laacad::scenario

@@ -1,0 +1,120 @@
+// Declarative scenario specs for dynamic-network experiments.
+//
+// A scenario describes everything LAACAD's "autonomous deployment" pitch is
+// about but a single static run cannot show: the domain, the initial
+// deployment, the algorithm configuration, and a *timeline of disruptions*
+// (node failures, battery drain, staged arrivals, boundary changes, jammed
+// regions) after each of which the surviving network must redeploy and
+// re-establish k-coverage.
+//
+// The on-disk format is deliberately tiny — line-oriented `key value` pairs
+// plus `event` lines, no external parser dependency:
+//
+//   # cascading failures over a 300 m square
+//   name     cascade
+//   domain   square
+//   side     300
+//   nodes    40
+//   k        2
+//   seed     7
+//   event converged fail_nodes count=6 pick=random
+//   event round=40 drain_battery epochs=3
+//   event converged add_nodes count=8 deploy=corner
+//
+// `event <trigger> <type> [k=v ...]` fires `type` when `trigger` is met:
+// `converged` fires at the end of the current redeployment phase,
+// `round=N` fires once the *global* round counter (summed over phases)
+// reaches N, interrupting an unconverged phase if necessary. Events fire
+// strictly in file order — each one ends the current phase and starts a new
+// redeployment phase.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace laacad::scenario {
+
+enum class EventType {
+  kFailNodes,       ///< remove nodes (random / inside a rect / largest range)
+  kDrainBattery,    ///< subtract energy per the E(r) model; depleted nodes die
+  kAddNodes,        ///< deploy fresh nodes (uniform / corner / gaussian)
+  kResizeBoundary,  ///< scale the domain outline about its bbox origin
+  kJamRegion,       ///< punch a rectangular hole (obstacle) into the domain
+};
+
+enum class Trigger {
+  kOnConvergence,  ///< fires when the current phase converges (or hits cap)
+  kAtRound,        ///< fires when the global round counter reaches `round`
+};
+
+const char* to_string(EventType t);
+
+/// One timeline entry. Field meaning depends on `type`; the parser fills
+/// defaults and rejects arguments that do not apply. Rectangles (`lo`/`hi`)
+/// and gaussian centers are fractions of the current domain bbox, so events
+/// stay meaningful after resize_boundary.
+struct Event {
+  Trigger trigger = Trigger::kOnConvergence;
+  int round = 0;  ///< global-round threshold for kAtRound
+  EventType type = EventType::kFailNodes;
+
+  int count = 0;                  ///< fail_nodes (0 = all in region) / add_nodes
+  std::string pick = "random";    ///< fail_nodes: random | region | max_range
+  std::string deploy = "uniform"; ///< add_nodes: uniform | corner | gaussian
+  double epochs = 0.0;            ///< drain_battery: energy-model epochs
+  double fraction = 0.0;          ///< drain_battery: fraction of full battery
+  double scale = 1.0;             ///< resize_boundary factor, > 0
+  geom::Vec2 lo{0.0, 0.0};        ///< rect for pick=region / jam_region
+  geom::Vec2 hi{1.0, 1.0};
+  geom::Vec2 at{0.5, 0.5};        ///< gaussian center (bbox fractions)
+  double sigma = 0.1;             ///< gaussian spread (fraction of bbox width)
+  int line = 0;                   ///< source line, for error messages
+};
+
+/// Full experiment description. Defaults reproduce a modest 2-coverage run
+/// on the unit square scaled to 300 m.
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::string domain = "square";  ///< square | lshape | cross
+  double side = 300.0;
+  bool hole = false;              ///< pre-punch the laacad_sim obstacle
+  std::string deploy = "uniform"; ///< uniform | corner | gaussian
+  int nodes = 40;
+  int k = 2;
+  double alpha = 1.0;
+  double epsilon = 0.5;
+  int max_rounds = 300;  ///< per redeployment phase
+  double gamma = 0.0;    ///< transmission range; 0 = density-aware auto
+  std::string backend = "global";  ///< global | localized
+  int max_hops = 10;
+  double noise = 0.0;
+  std::uint64_t seed = 1;
+  int num_threads = 1;  ///< execution detail; never serialized into metrics
+  double battery = 1.0e6;
+  double grid_resolution = 5.0;  ///< coverage-check lattice spacing (m)
+  std::vector<Event> events;
+};
+
+/// Parse a scenario from a stream. Throws std::runtime_error with a
+/// "line N: ..." message on malformed input; unknown keys are errors (a
+/// typo silently ignored would corrupt an experiment).
+ScenarioSpec parse_scenario(std::istream& in);
+
+/// Parse from an in-memory string (tests, embedded benches).
+ScenarioSpec parse_scenario_string(const std::string& text);
+
+/// Load and parse a scenario file; the file name (sans directory and
+/// extension) overrides `name` when the spec does not set one.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Spec-level sanity checks shared by parser and runner: positive side,
+/// nodes >= k >= 1, alpha in (0,1], epsilon > 0, max_rounds > 0, known
+/// domain/deploy/backend strings, event arguments in range. Throws
+/// std::runtime_error naming the offending field.
+void validate(const ScenarioSpec& spec);
+
+}  // namespace laacad::scenario

@@ -1,10 +1,41 @@
 #include "wsn/deployment.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace laacad::wsn {
 
 using geom::Vec2;
+
+double auto_comm_range(const Domain& domain, int nodes, double side) {
+  return std::max(side / 6.0,
+                  1.7 * std::sqrt(domain.area() / std::max(nodes, 1)));
+}
+
+Domain make_named_domain(const std::string& name, double side,
+                         bool with_hole) {
+  Domain d;
+  if (name == "square") d = Domain::rectangle(side, side);
+  else if (name == "lshape") d = Domain::lshape(side, side);
+  else if (name == "cross") d = Domain::cross(side, side, 0.4);
+  else throw std::invalid_argument("unknown domain shape '" + name + "'");
+  if (with_hole) {
+    d = d.with_rect_hole({side * 0.30, side * 0.30},
+                         {side * 0.45, side * 0.45});
+  }
+  return d;
+}
+
+std::vector<Vec2> deploy_named(const Domain& domain, const std::string& name,
+                               int n, double side, Rng& rng) {
+  if (name == "uniform") return deploy_uniform(domain, n, rng);
+  if (name == "corner") return deploy_corner(domain, n, rng);
+  if (name == "gaussian") {
+    return deploy_gaussian(domain, n, domain.bbox().center(), side / 6.0,
+                           rng);
+  }
+  throw std::invalid_argument("unknown deployment '" + name + "'");
+}
 
 std::vector<Vec2> deploy_uniform(const Domain& domain, int n, Rng& rng) {
   std::vector<Vec2> out;

@@ -3,12 +3,33 @@
 // regular lattices used by the baselines.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "wsn/domain.hpp"
 
 namespace laacad::wsn {
+
+/// Density-aware auto transmission range: large enough that the disk graph
+/// stays well connected (~9 expected one-hop neighbours) even for sparse
+/// populations, floored at side/6. Shared by laacad_sim and the scenario
+/// engine so their runs are cross-comparable.
+double auto_comm_range(const Domain& domain, int nodes, double side);
+
+/// The named evaluation domains ("square" | "lshape" | "cross"), optionally
+/// with the standard obstacle rectangle — one definition shared by
+/// laacad_sim and the scenario engine so identical parameters mean
+/// identical experiments. Throws std::invalid_argument for unknown names.
+Domain make_named_domain(const std::string& name, double side,
+                         bool with_hole = false);
+
+/// Named initial deployment ("uniform" | "corner" | "gaussian"; gaussian is
+/// centred with sigma = side/6). Throws std::invalid_argument for unknown
+/// names.
+std::vector<geom::Vec2> deploy_named(const Domain& domain,
+                                     const std::string& name, int n,
+                                     double side, Rng& rng);
 
 /// n positions sampled uniformly over the domain's coverage area.
 std::vector<geom::Vec2> deploy_uniform(const Domain& domain, int n, Rng& rng);

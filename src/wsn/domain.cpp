@@ -1,6 +1,7 @@
 #include "wsn/domain.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace laacad::wsn {
@@ -92,7 +93,32 @@ Vec2 Domain::project_inside(Vec2 p, double margin) const {
         geom::dist_to_boundary(h, q) > geom::kEps) {
       const Vec2 b = geom::project_to_boundary(h, q);
       const Vec2 outward = (b - geom::centroid(h)).normalized();
-      q = b + outward * margin;
+      Vec2 cand = b + outward * margin;
+      if (!contains(cand)) {
+        // Hole flush against the outer boundary (e.g. a jammed rectangle
+        // meeting an L-shape notch): the centroid-outward nudge can exit
+        // the domain. Fall back to the nearest feasible point among nudged
+        // samples of the hole boundary.
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < h.size(); ++i) {
+          const Vec2 a = h[i];
+          const Vec2 c = h[(i + 1) % h.size()];
+          const Vec2 n = (c - a).normalized().perp();
+          for (const double t : {0.0, 0.25, 0.5, 0.75}) {
+            const Vec2 s = a + (c - a) * t;
+            for (const Vec2& dir : {n, n * -1.0}) {
+              const Vec2 trial = s + dir * margin;
+              if (!contains(trial)) continue;
+              const double d2 = geom::dist(q, trial);
+              if (d2 < best) {
+                best = d2;
+                cand = trial;
+              }
+            }
+          }
+        }
+      }
+      q = cand;
     }
   }
   return q;

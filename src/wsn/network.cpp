@@ -47,6 +47,12 @@ NodeId Network::add_node(Vec2 p) {
   return n.id;
 }
 
+void Network::rebind_domain(const Domain* domain) {
+  domain_ = domain;
+  for (Node& n : nodes_) n.pos = domain_->project_inside(n.pos);
+  grid_dirty_.store(true, std::memory_order_release);
+}
+
 void Network::remove_node(NodeId i) {
   nodes_.erase(nodes_.begin() + i);
   for (std::size_t j = 0; j < nodes_.size(); ++j)

@@ -47,11 +47,17 @@ class Network {
   void set_sensing_range(NodeId i, double r);
   void set_boundary(NodeId i, bool boundary);
 
-  /// Add a node at p; returns its id. Remove drops the highest-index swap —
-  /// removal invalidates ids, so callers (the min-node planner) use it only
-  /// between full algorithm runs.
+  /// Add a node at p; returns its id. Remove erases in place and shifts
+  /// every higher id down by one (ids stay dense 0..n-1) — removal
+  /// invalidates ids, so callers (the min-node planner, the scenario
+  /// engine) use it only between full algorithm runs / redeployment phases.
   NodeId add_node(geom::Vec2 p);
   void remove_node(NodeId i);
+
+  /// Swap the domain (boundary resize, new obstacle) and reproject every
+  /// node into it. The new domain is shared, not owned — the caller keeps it
+  /// alive for the network's lifetime. Invalidates the grid.
+  void rebind_domain(const Domain* domain);
 
   /// Spatial queries over *current* positions (grid re-binned lazily after
   /// moves). Safe to call from multiple threads concurrently; see the

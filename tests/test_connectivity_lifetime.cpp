@@ -118,7 +118,7 @@ TEST(Lifetime, LaacadOutlivesRandomStaticDeployment) {
   {
     core::LaacadConfig cfg;
     cfg.k = 1;
-    cfg.max_rounds = 0;  // no motion: finalize() assigns cell circumradii
+    // No run(): finalize() alone assigns cell circumradii without motion.
     core::Engine engine(rand_net, cfg);
     engine.finalize();
   }

@@ -32,6 +32,65 @@ TEST(Engine, RejectsBadArguments) {
   EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
   cfg.alpha = 1.5;
   EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.alpha = 1.0;
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.epsilon = -1.0;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.epsilon = 0.5;
+  cfg.max_rounds = 0;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.max_rounds = 400;
+  cfg.num_threads = -2;
+  EXPECT_THROW(Engine(net, cfg), std::invalid_argument);
+  cfg.num_threads = 1;
+  EXPECT_NO_THROW(Engine(net, cfg));
+}
+
+TEST(Engine, ValidationMessagesNameTheField) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  wsn::Network net(&d, {{10, 10}, {20, 20}}, 20.0);
+  LaacadConfig cfg;
+  cfg.epsilon = -0.5;
+  try {
+    Engine engine(net, cfg);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("epsilon"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Engine, BeginPhaseResumesAfterNetworkMutation) {
+  // The scenario engine's contract: converge, mutate the network, re-arm,
+  // and the engine redeploys the survivors with a fresh rounds allowance.
+  wsn::Domain d = wsn::Domain::rectangle(200, 200);
+  Rng rng(21);
+  wsn::Network net(&d, wsn::deploy_uniform(d, 16, rng), 60.0);
+  Engine engine(net, quick_config(2));
+  RunResult first = engine.run();
+  ASSERT_TRUE(first.converged);
+
+  net.remove_node(3);
+  net.remove_node(7);
+  net.add_node({5.0, 5.0});
+  engine.begin_phase();
+  EXPECT_EQ(engine.rounds_executed(), 0);
+  RunResult second = engine.run();
+  EXPECT_TRUE(second.converged);
+  EXPECT_GE(second.rounds, 1);  // the disruption forced actual redeployment
+
+  const auto exact = cov::critical_point_coverage(d, cov::sensing_disks(net));
+  EXPECT_GE(exact.min_depth, 2);
+}
+
+TEST(Engine, BeginPhaseRejectsNetworkBelowK) {
+  wsn::Domain d = wsn::Domain::rectangle(100, 100);
+  wsn::Network net(&d, {{10, 10}, {20, 20}, {30, 30}}, 20.0);
+  Engine engine(net, quick_config(3));
+  engine.run();
+  net.remove_node(0);
+  EXPECT_THROW(engine.begin_phase(), std::invalid_argument);
 }
 
 TEST(Engine, SingleNodeK1MovesToDomainChebyshevCenter) {

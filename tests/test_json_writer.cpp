@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace laacad {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  build(w);
+  return out.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriter, ObjectWithScalars) {
+  const std::string json = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("s", "hi");
+    w.kv("i", 42);
+    w.kv("d", 1.5);
+    w.kv("b", true);
+    w.key("n").null();
+    w.end_object();
+  });
+  EXPECT_EQ(json, R"({"s":"hi","i":42,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string json = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.key("rows").begin_array();
+    w.begin_object().kv("x", 1).end_object();
+    w.begin_object().kv("x", 2).end_object();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(json, R"({"rows":[{"x":1},{"x":2}]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  // Escaping applies to keys and values alike.
+  const std::string json = compact([](JsonWriter& w) {
+    w.begin_object().kv("a,b\"c", "x\ny").end_object();
+  });
+  EXPECT_EQ(json, "{\"a,b\\\"c\":\"x\\ny\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripShortest) {
+  EXPECT_EQ(JsonWriter::number_to_string(0.0), "0");
+  EXPECT_EQ(JsonWriter::number_to_string(300.0), "300");
+  EXPECT_EQ(JsonWriter::number_to_string(2.0e6), "2000000");
+  EXPECT_EQ(JsonWriter::number_to_string(1.5), "1.5");
+  EXPECT_EQ(JsonWriter::number_to_string(-0.25), "-0.25");
+  // Shortest representation that parses back to the exact double.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(JsonWriter::number_to_string(v)), v);
+  const double tiny = 1.2345678901234567e-12;
+  EXPECT_EQ(std::stod(JsonWriter::number_to_string(tiny)), tiny);
+}
+
+TEST(JsonWriter, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(JsonWriter::number_to_string(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::number_to_string(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  const std::string json = compact([](JsonWriter& w) {
+    w.begin_object().kv("bad", std::nan("")).end_object();
+  });
+  EXPECT_EQ(json, R"({"bad":null})");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b").begin_array().value(2).value(3).end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out, 0);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w(out, 0);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter w(out, 0);
+    w.value(1);  // complete scalar document
+    EXPECT_THROW(w.value(2), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace laacad

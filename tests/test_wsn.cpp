@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <thread>
 
@@ -139,6 +141,77 @@ TEST(Network, AddRemoveNode) {
   EXPECT_EQ(net.size(), 1);
   EXPECT_EQ(net.node(0).id, 0);  // ids re-densified
   EXPECT_EQ(net.position(0), Vec2(20, 20));
+}
+
+TEST(Network, RemoveAfterQueriesReindexesGrid) {
+  // The lazy grid was built by a query; a removal must invalidate it so the
+  // next query sees re-densified ids, not stale indices into the old list.
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {12, 10}, {90, 90}, {92, 90}}, 5.0);
+  EXPECT_EQ(net.one_hop_neighbors(0), std::vector<int>{1});
+  EXPECT_EQ(net.one_hop_neighbors(2), std::vector<int>{3});
+
+  net.remove_node(0);  // former 1/2/3 become 0/1/2
+  EXPECT_TRUE(net.one_hop_neighbors(0).empty());  // (12,10) now alone
+  EXPECT_EQ(net.one_hop_neighbors(1), std::vector<int>{2});
+  EXPECT_EQ(net.nodes_within({91, 90}, 5.0), (std::vector<int>{1, 2}));
+}
+
+TEST(Network, AddAfterQueriesReindexesGrid) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}}, 5.0);
+  EXPECT_TRUE(net.one_hop_neighbors(0).empty());  // grid built
+
+  const NodeId id = net.add_node({12, 10});
+  EXPECT_EQ(net.one_hop_neighbors(0), std::vector<int>{id});
+  const auto near = net.k_nearest({11, 10}, 2);
+  EXPECT_EQ(near.size(), 2u);
+}
+
+TEST(Network, InterleavedMutationsAndQueriesStayConsistent) {
+  // Alternate queries (forcing grid builds) with add/remove churn; every
+  // radius query must match a brute-force scan of the current positions.
+  Domain d = Domain::rectangle(200, 200);
+  Rng rng(23);
+  Network net(&d, deploy_uniform(d, 30, rng), 30.0);
+  auto brute = [&](Vec2 q, double r) {
+    std::vector<int> out;
+    for (int i = 0; i < net.size(); ++i)
+      if (dist(net.position(i), q) <= r) out.push_back(i);
+    return out;
+  };
+  for (int step = 0; step < 20; ++step) {
+    const Vec2 q{rng.uniform(0, 200), rng.uniform(0, 200)};
+    auto got = net.nodes_within(q, 40.0);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute(q, 40.0)) << "step " << step;
+    if (step % 2 == 0 && net.size() > 1) {
+      net.remove_node(rng.uniform_int(0, net.size() - 1));
+    } else {
+      net.add_node({rng.uniform(0, 200), rng.uniform(0, 200)});
+    }
+  }
+}
+
+TEST(Network, RebindDomainReprojectsNodes) {
+  Domain big = Domain::rectangle(200, 200);
+  Network net(&big, {{150, 150}, {50, 50}, {10, 190}}, 30.0);
+
+  Domain small = Domain::rectangle(100, 100);
+  net.rebind_domain(&small);
+  for (int i = 0; i < net.size(); ++i)
+    EXPECT_TRUE(small.contains(net.position(i))) << "node " << i;
+  EXPECT_EQ(net.position(1), Vec2(50, 50));  // already feasible: unmoved
+
+  // The grid was invalidated: queries reflect the projected positions.
+  const auto hits = net.nodes_within({100, 100}, 5.0);
+  EXPECT_FALSE(hits.empty());
+
+  // A domain with a hole pushes nodes out of the blocked region too.
+  Domain holed = Domain::rectangle(100, 100).with_rect_hole({40, 40}, {60, 60});
+  net.rebind_domain(&holed);
+  for (int i = 0; i < net.size(); ++i)
+    EXPECT_TRUE(holed.contains(net.position(i))) << "node " << i;
 }
 
 TEST(Network, MoveInvalidatesQueries) {
@@ -377,6 +450,49 @@ TEST(Energy, PerfectBalanceFairnessOne) {
   net.set_sensing_range(0, 2.5);
   net.set_sensing_range(1, 2.5);
   EXPECT_NEAR(load_report(net).fairness, 1.0, 1e-12);
+}
+
+TEST(Energy, LoadReportSingleNode) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{50, 50}}, 10.0);
+  net.set_sensing_range(0, 3.0);
+  LoadReport rep = load_report(net);
+  EXPECT_NEAR(rep.max_load, 9.0 * M_PI, 1e-9);
+  EXPECT_NEAR(rep.min_load, 9.0 * M_PI, 1e-9);
+  EXPECT_NEAR(rep.total_load, 9.0 * M_PI, 1e-9);
+  EXPECT_NEAR(rep.fairness, 1.0, 1e-12);
+}
+
+TEST(Energy, LoadReportAllZeroRanges) {
+  // Freshly constructed nodes have range 0: loads are all zero and the
+  // report must stay finite (no 0/0 fairness).
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {20, 20}, {30, 30}}, 10.0);
+  LoadReport rep = load_report(net);
+  EXPECT_EQ(rep.max_load, 0.0);
+  EXPECT_EQ(rep.min_load, 0.0);
+  EXPECT_EQ(rep.total_load, 0.0);
+  EXPECT_TRUE(std::isfinite(rep.fairness));
+}
+
+TEST(Energy, LoadReportMixedZeroAndPositive) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {{10, 10}, {20, 20}}, 10.0);
+  net.set_sensing_range(0, 0.0);
+  net.set_sensing_range(1, 2.0);
+  LoadReport rep = load_report(net);
+  EXPECT_EQ(rep.min_load, 0.0);
+  EXPECT_NEAR(rep.max_load, 4.0 * M_PI, 1e-9);
+  EXPECT_TRUE(std::isfinite(rep.fairness));
+  EXPECT_NEAR(rep.fairness, 0.5, 1e-9);  // Jain's index of {0, x}
+}
+
+TEST(Energy, LoadReportEmptyNetworkIsDefault) {
+  Domain d = Domain::rectangle(100, 100);
+  Network net(&d, {}, 10.0);
+  LoadReport rep = load_report(net);
+  EXPECT_EQ(rep.total_load, 0.0);
+  EXPECT_EQ(rep.fairness, 1.0);
 }
 
 }  // namespace
