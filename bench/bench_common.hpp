@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -16,9 +17,19 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
 
 namespace laacad::benchutil {
+
+/// Per-experiment seed derivation: a named base stream advanced by the
+/// sweep indices through Rng::derive (splitmix64). Replaces ad-hoc
+/// `base + n + k` seed arithmetic, whose collisions (100+60+3 == 100+59+4)
+/// silently correlated supposedly independent runs.
+template <typename... Streams>
+inline std::uint64_t derived_seed(std::uint64_t base, Streams... streams) {
+  return Rng::derive(base, static_cast<std::uint64_t>(streams)...);
+}
 
 /// Thread count for LaacadConfig::num_threads in the benches, settable
 /// without recompiling: LAACAD_THREADS=8 ./bench_fig6_convergence.

@@ -92,7 +92,7 @@ void experiment() {
   TextTable stacked_table({"k", "rounds", "R* (m)", "clusters (start)",
                            "clusters (end)", "mean cluster size (end)"});
   for (int k = 2; k <= 4; ++k) {
-    Rng srng(400 + k);
+    Rng srng(benchutil::derived_seed(400, k));
     const int groups = n / k;
     auto anchors = wsn::deploy_uniform(domain, groups, srng);
     auto init = wsn::stacked(anchors, k, srng, 1e-3);

@@ -6,54 +6,92 @@
 //       to E(r_i) ~ k |A| / N;
 //   (b) total sensing load: decreases with N (less overlap waste), grows
 //       with k.
+//
+// The (N x k) grid runs through the campaign engine: a two-axis declarative
+// sweep sharded across LAACAD_THREADS workers with per-trial derived seeds,
+// instead of the old nested loops with `Rng rng(100 + n + k)` seed
+// arithmetic (whose collisions — 100+60+3 == 100+59+4 — silently correlated
+// supposedly independent runs).
+#include <fstream>
+
 #include "bench_common.hpp"
-#include "laacad/engine.hpp"
-#include "wsn/deployment.hpp"
-#include "wsn/energy.hpp"
+#include "campaign/scheduler.hpp"
 
 namespace {
 
 using namespace laacad;
 
+constexpr const char* kCampaignSpec = R"(
+name      fig7_energy
+trials    1
+seed      100
+domain    square
+side      1000
+deploy    uniform
+epsilon   1.0
+max_rounds 250
+grid_resolution 25
+sweep nodes 20 60 100 140 180
+sweep k 1 2 3 4
+)";
+
 void experiment() {
-  wsn::Domain domain = wsn::Domain::square_km();
-  const std::vector<int> sizes = {20, 60, 100, 140, 180};
+  campaign::CampaignOptions opt;
+  opt.workers = benchutil::num_threads();
+  campaign::CampaignScheduler scheduler(
+      campaign::parse_campaign_string(kCampaignSpec), std::move(opt));
+  const campaign::CampaignResult result = scheduler.run();
+
+  const std::size_t max_m = campaign::metric_index("max_load");
+  const std::size_t tot_m = campaign::metric_index("total_load");
+  // Row-major grid: axis 0 (nodes) outermost, one group per k within each
+  // size. The tables hard-code four k columns, so refuse a drifted sweep
+  // instead of silently misaligning rows.
+  if (result.spec.axes.size() != 2 || result.spec.axes[0].key != "nodes" ||
+      result.spec.axes[1].values !=
+          std::vector<std::string>{"1", "2", "3", "4"}) {
+    benchutil::TableSink::instance().note(
+        "fig7 sweep no longer matches the k=1..4 table layout — update the "
+        "table columns alongside the spec");
+    return;
+  }
+  const std::size_t kPerSize = result.spec.axes[1].values.size();
 
   TextTable max_table({"N", "k=1 max load", "k=2 max load", "k=3 max load",
                        "k=4 max load", "k2/k1", "k4/k2"});
   TextTable tot_table({"N", "k=1 total", "k=2 total", "k=3 total",
                        "k=4 total"});
-  for (int n : sizes) {
+  // Loads in units of 10^3 m^2 to keep the table readable.
+  auto fmt = [](double v) { return TextTable::num(v / 1e3, 1); };
+  for (std::size_t g = 0; g + kPerSize <= result.groups.size();
+       g += kPerSize) {
+    const std::string& n = result.groups[g].values[0].second;
     std::vector<double> maxload, total;
-    for (int k = 1; k <= 4; ++k) {
-      Rng rng(100 + n + k);
-      wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
-      core::LaacadConfig cfg;
-      cfg.k = k;
-      cfg.epsilon = 1.0;
-      cfg.max_rounds = 250;
-      core::Engine engine(net, cfg);
-      engine.run();
-      const wsn::LoadReport rep = wsn::load_report(net);
-      maxload.push_back(rep.max_load);
-      total.push_back(rep.total_load);
+    for (int j = 0; j < kPerSize; ++j) {
+      maxload.push_back(result.groups[g + j].metrics[max_m].mean);
+      total.push_back(result.groups[g + j].metrics[tot_m].mean);
     }
-    // Loads in units of 10^3 m^2 to keep the table readable.
-    auto fmt = [](double v) { return TextTable::num(v / 1e3, 1); };
-    max_table.add_row({std::to_string(n), fmt(maxload[0]), fmt(maxload[1]),
-                       fmt(maxload[2]), fmt(maxload[3]),
+    max_table.add_row({n, fmt(maxload[0]), fmt(maxload[1]), fmt(maxload[2]),
+                       fmt(maxload[3]),
                        TextTable::num(maxload[1] / maxload[0], 2),
                        TextTable::num(maxload[3] / maxload[1], 2)});
-    tot_table.add_row({std::to_string(n), fmt(total[0]), fmt(total[1]),
-                       fmt(total[2]), fmt(total[3])});
+    tot_table.add_row(
+        {n, fmt(total[0]), fmt(total[1]), fmt(total[2]), fmt(total[3])});
   }
   benchutil::TableSink::instance().add(
-      "Fig. 7(a) — maximum sensing load (10^3 m^2), 1 km^2", std::move(max_table));
+      "Fig. 7(a) — maximum sensing load (10^3 m^2), 1 km^2",
+      std::move(max_table));
   benchutil::TableSink::instance().add(
-      "Fig. 7(b) — total sensing load (10^3 m^2), 1 km^2", std::move(tot_table));
+      "Fig. 7(b) — total sensing load (10^3 m^2), 1 km^2",
+      std::move(tot_table));
   benchutil::TableSink::instance().note(
       "Paper's shape: max load falls as 1/N and scales ~k (ratio columns "
       "~2); total load decreases with N and increases with k.");
+
+  std::ofstream json("BENCH_campaign_fig7_energy.json");
+  if (json) result.write_json(json);
+  benchutil::TableSink::instance().note(
+      "campaign aggregates: BENCH_campaign_fig7_energy.json");
 }
 
 }  // namespace

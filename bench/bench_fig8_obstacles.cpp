@@ -43,7 +43,7 @@ void run_domain(const std::string& name, const wsn::Domain& domain,
                 TextTable& table) {
   const int n = 120;
   for (int k : {2, 4, 6, 8}) {
-    Rng rng(900 + k);
+    Rng rng(benchutil::derived_seed(900, k));
     wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
     core::LaacadConfig cfg;
     cfg.k = k;

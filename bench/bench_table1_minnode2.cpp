@@ -22,7 +22,7 @@ void experiment() {
   TextTable table({"N", "R* (m)", "N* = 4|A|/(3sqrt3 R*^2)", "N*/N",
                    "median r (m)", "N*(median)/N"});
   for (int n : {1000, 1200, 1400, 1600}) {
-    Rng rng(500 + n);
+    Rng rng(benchutil::derived_seed(500, n));
     wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 60.0);
     core::LaacadConfig cfg;
     cfg.k = 2;

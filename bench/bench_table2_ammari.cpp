@@ -23,7 +23,7 @@ void experiment() {
   TextTable table({"k", "R*_k (m)", "N*_k (Ammari-Das)", "N*_k / N",
                    "R*_k / sqrt(k)"});
   for (int k = 3; k <= 8; ++k) {
-    Rng rng(700 + k);
+    Rng rng(benchutil::derived_seed(700, k));
     wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
     core::LaacadConfig cfg;
     cfg.k = k;

@@ -1,0 +1,171 @@
+// campaign_runner — expand a declarative parameter-sweep campaign into a
+// trial matrix, shard it across workers, and emit aggregate metrics.
+//
+// Usage:
+//   campaign_runner <campaign-file> [--workers N] [--resume] [--json PATH]
+//                   [--csv PATH] [--manifest PATH] [--dry-run] [--quiet]
+//
+// The campaign format is documented in src/campaign/spec.hpp and the
+// README; shipped examples live in campaigns/. Outputs (defaults derive
+// from the campaign name):
+//   BENCH_campaign_<name>.json      grouped aggregates + per-trial rows
+//   BENCH_campaign_<name>_trials.csv   trial log, one row per trial
+//   BENCH_campaign_<name>.manifest  streaming journal; --resume replays it
+// All outputs are byte-identical for every --workers value and for any
+// interrupt/--resume split. Exit status 0 iff every trial completed with
+// verified final k-coverage.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/scheduler.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s <campaign-file> [--workers N] [--resume] [--json PATH]\n"
+      "          [--csv PATH] [--manifest PATH] [--dry-run] [--quiet]\n"
+      "  --workers N   trial-level parallelism (0 = hardware); outputs are\n"
+      "                byte-identical for every value\n"
+      "  --resume      skip trials already journaled in the manifest\n"
+      "  --json PATH   aggregate output (default BENCH_campaign_<name>.json)\n"
+      "  --csv PATH    trial log (default BENCH_campaign_<name>_trials.csv)\n"
+      "  --manifest PATH  journal path (default BENCH_campaign_<name>.manifest)\n"
+      "  --dry-run     print the expanded trial matrix and exit\n",
+      argv0);
+}
+
+std::string describe_point(
+    const std::vector<std::pair<std::string, std::string>>& values) {
+  std::string out;
+  for (const auto& [key, value] : values) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value;
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace laacad;
+
+  std::string path, json_path, csv_path, manifest_path;
+  campaign::CampaignOptions opt;
+  bool dry_run = false, quiet = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string flag = argv[a];
+    auto next_value = [&](const char* what) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (flag == "--help" || flag == "-h") { usage(argv[0]); return 0; }
+    else if (flag == "--quiet") quiet = true;
+    else if (flag == "--dry-run") dry_run = true;
+    else if (flag == "--resume") opt.resume = true;
+    else if (flag == "--workers") {
+      const char* v = next_value("--workers");
+      char* end = nullptr;
+      opt.workers = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || opt.workers < 0) {
+        std::fprintf(stderr, "--workers expects a non-negative integer\n");
+        return 2;
+      }
+    }
+    else if (flag == "--json") json_path = next_value("--json");
+    else if (flag == "--csv") csv_path = next_value("--csv");
+    else if (flag == "--manifest") manifest_path = next_value("--manifest");
+    else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (path.empty()) path = flag;
+    else { usage(argv[0]); return 2; }
+  }
+  if (path.empty()) { usage(argv[0]); return 2; }
+
+  campaign::CampaignResult result;
+  try {
+    campaign::CampaignSpec spec = campaign::load_campaign_file(path);
+    const std::string name = spec.name;
+    if (json_path.empty()) json_path = "BENCH_campaign_" + name + ".json";
+    if (csv_path.empty()) csv_path = "BENCH_campaign_" + name + "_trials.csv";
+    if (manifest_path.empty())
+      manifest_path = "BENCH_campaign_" + name + ".manifest";
+    opt.manifest_path = manifest_path;
+    if (!quiet) {
+      opt.on_trial = [](const campaign::TrialPoint& pt,
+                        const campaign::TrialResult& r, int done, int total) {
+        std::string status = r.ok ? "ok" : "FAILED";
+        if (!r.ok && !r.error.empty()) status += " — " + r.error;
+        std::printf("[%d/%d] trial %d (%s rep=%d): %s\n", done, total,
+                    pt.trial, describe_point(pt.values).c_str(), pt.rep,
+                    status.c_str());
+        std::fflush(stdout);
+      };
+    }
+
+    campaign::CampaignScheduler scheduler(std::move(spec), std::move(opt));
+    if (dry_run) {
+      std::printf("campaign '%s': %zu trials\n", name.c_str(),
+                  scheduler.trials().size());
+      TextTable table({"trial", "point", "rep", "seed", "values"});
+      for (const auto& pt : scheduler.trials()) {
+        table.add_row({std::to_string(pt.trial), std::to_string(pt.point),
+                       std::to_string(pt.rep), std::to_string(pt.seed),
+                       describe_point(pt.values)});
+      }
+      table.print(std::cout);
+      return 0;
+    }
+    result = scheduler.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 2;
+  }
+
+  std::ofstream json_out(json_path);
+  if (!json_out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  result.write_json(json_out);
+  std::ofstream csv_out(csv_path);
+  if (!csv_out) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 2;
+  }
+  result.write_csv(csv_out);
+
+  if (!quiet) {
+    TextTable table({"point", "values", "n", "ok", "rounds (mean)",
+                     "R* (mean)", "fairness (mean)"});
+    const std::size_t rounds_m = campaign::metric_index("total_rounds");
+    const std::size_t range_m = campaign::metric_index("max_range");
+    const std::size_t fair_m = campaign::metric_index("fairness");
+    for (const auto& g : result.groups) {
+      table.add_row({std::to_string(g.point), describe_point(g.values),
+                     std::to_string(g.trials), std::to_string(g.ok),
+                     TextTable::num(g.metrics[rounds_m].mean, 1),
+                     TextTable::num(g.metrics[range_m].mean, 2),
+                     TextTable::num(g.metrics[fair_m].mean, 3)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "campaign '%s': %zu trials (%d run, %d resumed), %zu grid points, "
+        "%s\n",
+        result.spec.name.c_str(), result.trials.size(), result.executed,
+        result.recovered, result.groups.size(),
+        result.all_ok() ? "all ok" : "FAILURES");
+    std::printf("aggregates: %s\ntrial log: %s\n", json_path.c_str(),
+                csv_path.c_str());
+  }
+  return result.all_ok() ? 0 : 1;
+}

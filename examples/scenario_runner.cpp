@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/json_writer.hpp"
 #include "common/table.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -22,11 +23,73 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <scenario-file> [--threads T] [--json PATH] [--quiet]\n"
+      "usage: %s <scenario-file> [--threads T] [--json PATH] [--dry-run] "
+      "[--quiet]\n"
       "  --threads T  override the spec's thread count (0 = hardware);\n"
       "               metrics are byte-identical for every value\n"
-      "  --json PATH  metrics output (default BENCH_scenario_<name>.json)\n",
+      "  --json PATH  metrics output (default BENCH_scenario_<name>.json)\n"
+      "  --dry-run    parse + validate only; print the event timeline\n",
       argv0);
+}
+
+/// Human-readable one-liner for a parsed event (the arguments that matter
+/// for its type, in spec terms).
+std::string describe(const laacad::scenario::Event& ev) {
+  using laacad::scenario::EventType;
+  auto num = [](double v) { return laacad::JsonWriter::number_to_string(v); };
+  std::string out;
+  switch (ev.type) {
+    case EventType::kFailNodes:
+      out = "count=" + std::to_string(ev.count) + " pick=" + ev.pick;
+      if (ev.pick == "region")
+        out += " rect=(" + num(ev.lo.x) + "," + num(ev.lo.y) + ")-(" +
+               num(ev.hi.x) + "," + num(ev.hi.y) + ")";
+      break;
+    case EventType::kDrainBattery:
+      out = "epochs=" + num(ev.epochs) + " fraction=" + num(ev.fraction);
+      break;
+    case EventType::kAddNodes:
+      out = "count=" + std::to_string(ev.count) + " deploy=" + ev.deploy;
+      if (ev.deploy == "gaussian")
+        out += " at=(" + num(ev.at.x) + "," + num(ev.at.y) +
+               ") sigma=" + num(ev.sigma);
+      break;
+    case EventType::kResizeBoundary:
+      out = "scale=" + num(ev.scale);
+      break;
+    case EventType::kJamRegion:
+      out = "rect=(" + num(ev.lo.x) + "," + num(ev.lo.y) + ")-(" +
+            num(ev.hi.x) + "," + num(ev.hi.y) + ")";
+      break;
+  }
+  return out;
+}
+
+/// --dry-run: the spec parsed and validated; show what would execute.
+void print_timeline(const laacad::scenario::ScenarioSpec& spec) {
+  std::printf(
+      "scenario '%s': domain=%s side=%g deploy=%s nodes=%d k=%d seed=%llu "
+      "backend=%s max_rounds=%d/phase\n",
+      spec.name.c_str(), spec.domain.c_str(), spec.side, spec.deploy.c_str(),
+      spec.nodes, spec.k, static_cast<unsigned long long>(spec.seed),
+      spec.backend.c_str(), spec.max_rounds);
+  if (spec.events.empty()) {
+    std::printf("timeline: (no events — a single static deployment phase)\n");
+    return;
+  }
+  std::printf("timeline: %d events, %d redeployment phases\n",
+              static_cast<int>(spec.events.size()),
+              static_cast<int>(spec.events.size()) + 1);
+  using laacad::scenario::Trigger;
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    const auto& ev = spec.events[i];
+    const std::string trig = ev.trigger == Trigger::kOnConvergence
+                                 ? "converged"
+                                 : "round=" + std::to_string(ev.round);
+    std::printf("  event %zu (line %d): %-11s %-15s %s\n", i, ev.line,
+                trig.c_str(), laacad::scenario::to_string(ev.type),
+                describe(ev).c_str());
+  }
 }
 
 }  // namespace
@@ -36,11 +99,12 @@ int main(int argc, char** argv) {
 
   std::string path, json_path;
   int threads = -1;  // -1 = keep the spec's value
-  bool quiet = false;
+  bool quiet = false, dry_run = false;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--help" || flag == "-h") { usage(argv[0]); return 0; }
     else if (flag == "--quiet") quiet = true;
+    else if (flag == "--dry-run") dry_run = true;
     else if (flag == "--threads") {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "--threads expects a value\n");
@@ -73,6 +137,11 @@ int main(int argc, char** argv) {
   try {
     scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
     if (threads >= 0) spec.num_threads = threads;
+    if (dry_run) {
+      // load_scenario_file already validated; just show the plan.
+      print_timeline(spec);
+      return 0;
+    }
     scenario::ScenarioRunner runner(std::move(spec));
     result = runner.run();
   } catch (const std::exception& e) {

@@ -1,0 +1,99 @@
+// CampaignScheduler — shards a campaign's trial matrix across a pool of
+// workers and aggregates the streamed results.
+//
+// Scheduling is dynamic (workers pull the next pending trial from a shared
+// atomic queue, so a long trial never blocks the rest of the matrix), but
+// results are deterministic anyway: every trial's RNG seed derives from its
+// identity (grid point, repetition) rather than from which worker ran it,
+// each trial runs a serial engine, and rows land in a results array indexed
+// by trial. The emitted JSON and CSV are therefore byte-identical for any
+// worker count — and, combined with the ResultStore manifest, for any
+// interrupt/resume split.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "campaign/trial.hpp"
+
+namespace laacad::campaign {
+
+struct CampaignOptions {
+  int workers = 1;    ///< trial-level parallelism; 0 = hardware concurrency
+  bool resume = false;  ///< replay the manifest instead of starting over
+  /// Manifest path; empty disables journaling (in-memory embedders).
+  std::string manifest_path;
+  /// Retain per-trial round history in memory (never serialized).
+  bool keep_history = false;
+  /// Progress hook, called under the scheduler lock as each trial lands:
+  /// (point, result, completed count, total trials).
+  std::function<void(const TrialPoint&, const TrialResult&, int, int)>
+      on_trial;
+};
+
+/// Aggregate of one metric over a group's finite samples. NaN (JSON null)
+/// throughout when no finite sample exists — aggregates never invent zeros.
+struct MetricAggregate {
+  int n = 0;  ///< finite samples aggregated
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double ci95 = 0.0;  ///< normal-approx 95% CI half-width on the mean
+};
+
+/// All repetitions of one grid point, aggregated per metric.
+struct GroupAggregate {
+  int point = 0;
+  /// Axis values identifying the group, in axis order.
+  std::vector<std::pair<std::string, std::string>> values;
+  int trials = 0;  ///< repetitions in the group
+  int ok = 0;      ///< repetitions with TrialResult::ok
+  std::vector<MetricAggregate> metrics;  ///< parallel to metric_names()
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<TrialPoint> points;   ///< full matrix, by trial index
+  std::vector<TrialResult> trials;  ///< by trial index
+  std::vector<GroupAggregate> groups;  ///< by grid-point index
+  int executed = 0;   ///< trials run now (rest recovered from the manifest)
+  int recovered = 0;  ///< trials replayed from the manifest
+
+  bool all_ok() const;
+
+  /// BENCH_campaign_<name>.json: config echo, axes, per-trial rows, grouped
+  /// aggregates, summary. Execution details (worker count, resume split,
+  /// manifest path) are never serialized — output is byte-identical across
+  /// worker counts and across interrupt/resume.
+  void write_json(std::ostream& out) const;
+
+  /// Trial log: one CSV row per trial (identity, axis values, ok, metrics),
+  /// in trial order. Same determinism contract as the JSON.
+  void write_csv(std::ostream& out) const;
+};
+
+class CampaignScheduler {
+ public:
+  /// Validates the spec and expands the trial matrix; throws
+  /// std::runtime_error on a bad spec or a mismatched resume manifest.
+  explicit CampaignScheduler(CampaignSpec spec, CampaignOptions opt = {});
+
+  /// The expanded matrix (for --dry-run listings and tests).
+  const std::vector<TrialPoint>& trials() const { return points_; }
+
+  /// Run every pending trial and aggregate. Call once.
+  CampaignResult run();
+
+ private:
+  CampaignSpec spec_;
+  CampaignOptions opt_;
+  std::vector<TrialPoint> points_;
+};
+
+}  // namespace laacad::campaign

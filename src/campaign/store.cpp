@@ -1,0 +1,169 @@
+#include "campaign/store.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json_writer.hpp"
+
+namespace laacad::campaign {
+
+namespace {
+
+constexpr const char* kMagic = "laacad.campaign.manifest.v1";
+
+std::string header_line(std::uint64_t fingerprint, int total_trials,
+                        std::size_t metrics) {
+  std::ostringstream ss;
+  ss << kMagic << " fp=" << std::hex << fingerprint << std::dec
+     << " trials=" << total_trials << " metrics=" << metrics;
+  return ss.str();
+}
+
+/// Parse one journaled double; "null" is NaN (how number_to_string prints
+/// it). Returns false on garbage — the caller drops the line.
+bool parse_metric(const std::string& tok, double* out) {
+  if (tok == "null") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end != tok.c_str() && *end == '\0';
+}
+
+/// Reversible single-line encoding for error text: the journal is
+/// line-oriented, but the error must round-trip *exactly* (the aggregate
+/// JSON emits it, so resumed runs reproduce failing campaigns byte for
+/// byte even if some future exception message carries a newline).
+std::string escape_error(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else if (c == '\r') out += "\\r";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unescape_error(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char next = s[++i];
+    out += next == 'n' ? '\n' : next == 'r' ? '\r' : next;
+  }
+  return out;
+}
+
+/// One journal row, always closed by the " ;" terminator: a kill mid-write
+/// cannot truncate a row into a different *valid* row (a cut final metric
+/// like "83.43827" still parses as a plausible double — only the missing
+/// terminator gives it away). The error message, if any, trails the fixed
+/// metric columns as length-prefixed escaped text ("E<len> <text>").
+std::string format_row(const TrialResult& r) {
+  std::ostringstream ss;
+  ss << "trial " << r.trial << ' ' << (r.ok ? 1 : 0);
+  for (const double m : r.metrics)
+    ss << ' ' << JsonWriter::number_to_string(m);
+  if (!r.error.empty()) {
+    const std::string escaped = escape_error(r.error);
+    ss << " E" << escaped.size() << ' ' << escaped;
+  }
+  ss << " ;";
+  return ss.str();
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string path, std::uint64_t fingerprint,
+                         int total_trials, bool resume)
+    : path_(std::move(path)) {
+  if (path_.empty()) return;  // journaling disabled
+  const std::string header =
+      header_line(fingerprint, total_trials, metric_names().size());
+
+  if (resume) {
+    std::ifstream in(path_);
+    if (in) {
+      std::string line;
+      if (!std::getline(in, line) || line != header)
+        throw std::runtime_error(
+            "manifest " + path_ +
+            " does not match this campaign spec (different sweep, trial "
+            "count, or metric schema) — delete it or drop --resume");
+      while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string tag;
+        int trial = -1, ok = 0;
+        if (!(ss >> tag >> trial >> ok) || tag != "trial" || trial < 0 ||
+            trial >= total_trials)
+          break;  // truncated/garbled tail: ignore from here on
+        TrialResult r;
+        r.trial = trial;
+        r.ok = ok != 0;
+        r.metrics.reserve(metric_names().size());
+        std::string tok;
+        bool good = true;
+        for (std::size_t m = 0; m < metric_names().size(); ++m) {
+          double v = 0.0;
+          if (!(ss >> tok) || !parse_metric(tok, &v)) {
+            good = false;
+            break;
+          }
+          r.metrics.push_back(v);
+        }
+        if (!good) break;
+        // The rest of the row must end with the " ;" terminator, with an
+        // optional length-prefixed error before it. Either check failing
+        // means the row was cut mid-write: drop it and everything after.
+        std::string rest;
+        std::getline(ss, rest);
+        if (rest.size() < 2 || rest.compare(rest.size() - 2, 2, " ;") != 0)
+          break;
+        rest.resize(rest.size() - 2);
+        if (!rest.empty()) {
+          if (rest.size() < 4 || rest[0] != ' ' || rest[1] != 'E') break;
+          const std::size_t sp = rest.find(' ', 2);
+          if (sp == std::string::npos) break;
+          char* end = nullptr;
+          const long len = std::strtol(rest.c_str() + 2, &end, 10);
+          if (end != rest.c_str() + sp || len <= 0) break;
+          const std::string escaped = rest.substr(sp + 1);
+          if (static_cast<long>(escaped.size()) != len) break;
+          r.error = unescape_error(escaped);
+        }
+        // Keep the first completion of a trial; duplicates can only appear
+        // if a resumed run re-recorded one, and both rows are identical by
+        // determinism anyway.
+        recovered_.emplace(trial, std::move(r));
+      }
+    }
+  }
+
+  // Rewrite header + recovered rows: this compacts away any garbled tail
+  // and leaves the journal append-ready.
+  out_.open(path_, std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("cannot open campaign manifest: " + path_);
+  out_ << header << '\n';
+  for (const auto& [trial, r] : recovered_) out_ << format_row(r) << '\n';
+  out_.flush();
+}
+
+void ResultStore::record(const TrialResult& result) {
+  if (path_.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << format_row(result) << '\n';
+  out_.flush();
+}
+
+}  // namespace laacad::campaign

@@ -1,0 +1,59 @@
+// ResultStore — the campaign's streaming trial journal and resume manifest.
+//
+// Completed trials are appended to a line-oriented manifest the moment they
+// finish (flushed per line, under a mutex), so killing a campaign mid-run
+// loses at most the trials in flight. Re-running with resume replays the
+// manifest: rows whose fingerprint header matches the current spec are
+// trusted verbatim and their trials are never re-executed — and because
+// per-trial seeds derive from trial identity, the final aggregates are
+// byte-identical to an uninterrupted run.
+//
+// Format (text, one record per line):
+//   laacad.campaign.manifest.v1 fp=<hex fingerprint> trials=<N> metrics=<M>
+//   trial <index> <ok:0|1> <m1> <m2> ... <mM> [E<len> <error text>] ;
+// Doubles use JsonWriter::number_to_string (shortest exact round-trip;
+// NaN prints as null); a failed trial's error message is journaled
+// length-prefixed so it round-trips into the aggregate JSON; the " ;"
+// terminator marks a row as completely written. A truncated or malformed
+// tail — the signature of a kill mid-write — is ignored from the first
+// bad line on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <fstream>
+#include <string>
+
+#include "campaign/trial.hpp"
+
+namespace laacad::campaign {
+
+class ResultStore {
+ public:
+  /// Opens the manifest at `path`. With `resume` an existing file is
+  /// replayed into recovered() and then appended to; its header must match
+  /// (fingerprint, trial count, metric count) or this throws
+  /// std::runtime_error — resuming a different campaign would silently mix
+  /// experiments. Without `resume` the file is truncated. An empty `path`
+  /// disables journaling entirely (in-memory embedders like benches).
+  ResultStore(std::string path, std::uint64_t fingerprint, int total_trials,
+              bool resume);
+
+  /// Trials recovered from an interrupted run, keyed by trial index.
+  /// History is never journaled, so recovered rows have none.
+  const std::map<int, TrialResult>& recovered() const { return recovered_; }
+
+  /// Journal one completed trial: append + flush, thread-safe.
+  void record(const TrialResult& result);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+  std::map<int, TrialResult> recovered_;
+};
+
+}  // namespace laacad::campaign

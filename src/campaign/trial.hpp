@@ -1,0 +1,52 @@
+// One campaign trial: a fully resolved scenario run plus its scalar metric
+// row. The metric schema is a fixed, ordered name list shared by the
+// manifest journal, the trial CSV, and the aggregate JSON, so every
+// serialization of a trial is column-compatible with every other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "laacad/engine.hpp"
+
+namespace laacad::campaign {
+
+/// Ordered scalar metric names (bools encoded 0/1, counts as doubles).
+/// Index into TrialResult::metrics.
+const std::vector<std::string>& metric_names();
+
+/// Position of `name` in metric_names(); throws std::out_of_range for an
+/// unknown name (a typo in an aggregation request is a bug, not a zero).
+std::size_t metric_index(const std::string& name);
+
+struct TrialResult {
+  int trial = -1;   ///< TrialPoint::trial this row belongs to
+  bool ok = false;  ///< completed, not aborted, final k-coverage verified
+  /// Scalar row parallel to metric_names(). A trial that threw (bad spec
+  /// combination, scenario file error) records NaN everywhere except
+  /// `aborted` = 1 — JsonWriter maps NaN to null, so the row degrades
+  /// cleanly instead of poisoning aggregates with fake zeros.
+  std::vector<double> metrics;
+  std::string error;  ///< what() when the trial threw, empty otherwise
+  /// Per-round engine metrics concatenated over phases. Populated only when
+  /// CampaignOptions::keep_history is set (in-memory consumers like the
+  /// fig6 bench); never journaled or serialized.
+  std::vector<core::RoundMetrics> history;
+};
+
+/// Build the fully resolved scenario spec for one trial: load the scenario
+/// file if any (resolved against spec.dir), apply the campaign's fixed
+/// overrides, then the point's swept values, then the derived seed.
+/// Trials always run serial (num_threads = 1) — campaign parallelism is
+/// across trials, which is what keeps results independent of worker count.
+scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
+                                          const TrialPoint& point);
+
+/// Execute one trial. Never throws: a failing trial (invalid resolved spec,
+/// unreadable scenario file, runtime abort) returns the NaN row described
+/// above with `error` set.
+TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
+                      bool keep_history = false);
+
+}  // namespace laacad::campaign

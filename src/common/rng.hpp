@@ -38,6 +38,22 @@ class Rng {
   /// experiment repetition its own stream without correlation.
   Rng fork();
 
+  /// Pure seed derivation (splitmix64): maps (seed, stream) to a new seed
+  /// with full avalanche, so nearby streams (0, 1, 2, ...) yield
+  /// decorrelated generators. Unlike fork() this consumes no generator
+  /// state — the result depends only on the arguments, which is what lets
+  /// sweeps hand every trial its own reproducible stream no matter which
+  /// worker runs it or in what order.
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t stream);
+
+  /// Multi-level derivation: derive(seed, a, b) == derive(derive(seed, a),
+  /// b). Argument order matters (stream a=1,b=2 differs from a=2,b=1).
+  template <typename... Rest>
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t stream,
+                              std::uint64_t next, Rest... rest) {
+    return derive(derive(seed, stream), next, rest...);
+  }
+
  private:
   std::mt19937_64 engine_;
 };

@@ -1,0 +1,28 @@
+// Shared primitives for the line-oriented spec formats (scenarios/*.scn,
+// campaigns/*.cmp): whitespace tokenization with '#' comments, and strict
+// scalar parsing that reports "line N: ..." errors. Both parsers must stay
+// behaviorally identical — one definition keeps them that way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laacad::specparse {
+
+/// Throw std::runtime_error("line N: <what>").
+[[noreturn]] void fail(int line, const std::string& what);
+
+/// Whitespace-split `line`, dropping everything from the first token that
+/// starts with '#' (trailing comment) onward.
+std::vector<std::string> tokenize(const std::string& line);
+
+/// Strict scalar parsers: the whole token must consume, or fail() with a
+/// message naming `key`.
+double parse_double(const std::string& s, int line, const std::string& key);
+int parse_int(const std::string& s, int line, const std::string& key);
+std::uint64_t parse_uint64(const std::string& s, int line,
+                           const std::string& key);
+bool parse_bool(const std::string& s, int line, const std::string& key);
+
+}  // namespace laacad::specparse

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace laacad {
 
@@ -28,8 +29,10 @@ Summary summarize(const std::vector<double>& xs) {
   return s;
 }
 
+double mean(const std::vector<double>& xs) { return summarize(xs).mean(); }
+
 double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(xs.begin(), xs.end());
   if (p <= 0.0) return xs.front();
   if (p >= 100.0) return xs.back();
@@ -38,6 +41,11 @@ double percentile(std::vector<double> xs, double p) {
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= xs.size()) return xs.back();
   return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double ci95_half_width(const Summary& s) {
+  if (s.count() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
 }
 
 double jain_fairness(const std::vector<double>& xs) {

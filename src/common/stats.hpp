@@ -8,6 +8,10 @@
 namespace laacad {
 
 /// Streaming accumulator for min / max / mean / variance of a double series.
+/// Empty-input convention (shared with the free functions below): mean of
+/// nothing is NaN, never a fabricated 0 — JsonWriter serializes non-finite
+/// values as null, so aggregates over empty groups degrade cleanly instead
+/// of reporting a plausible-looking zero.
 class Summary {
  public:
   void add(double x);
@@ -15,7 +19,10 @@ class Summary {
   std::size_t count() const { return n_; }
   double min() const { return min_; }
   double max() const { return max_; }
-  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double mean() const {
+    return n_ ? sum_ / static_cast<double>(n_)
+              : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const { return sum_; }
   /// Population variance (0 for fewer than two samples).
   double variance() const;
@@ -32,9 +39,17 @@ class Summary {
 /// Summarize a whole vector at once.
 Summary summarize(const std::vector<double>& xs);
 
-/// p-th percentile (p in [0,100]) by linear interpolation on a sorted copy.
-/// Returns 0 for an empty input.
+/// Arithmetic mean; NaN for an empty input (see Summary).
+double mean(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100], clamped) by linear interpolation on a
+/// sorted copy. NaN for an empty input; the sole element for a singleton.
 double percentile(std::vector<double> xs, double p);
+
+/// Half-width of the normal-approximation 95% confidence interval on the
+/// mean: 1.96 * stddev / sqrt(n). NaN for an empty summary, 0 for n == 1
+/// (a single sample has zero sample spread under the population estimator).
+double ci95_half_width(const Summary& s);
 
 /// Jain's fairness index: (Σx)² / (n·Σx²). Equals 1 when all entries are
 /// equal; approaches 1/n under maximal imbalance. Used to quantify the

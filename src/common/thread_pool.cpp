@@ -99,10 +99,12 @@ void ThreadPool::run(int n, const std::function<void(int)>& fn) {
 
 void parallel_for(ThreadPool* pool, int n,
                   const std::function<void(int)>& fn) {
+  // The serial path runs even inside another pool's chunk: a plain loop
+  // cannot deadlock or reorder anything, and outer-parallel/inner-serial is
+  // exactly how trial-level parallelism (campaign workers running serial
+  // engines) composes. Only a *pool* inside a chunk is rejected, by
+  // ThreadPool::run itself.
   if (pool == nullptr || pool->size() <= 1) {
-    if (tls_in_chunk)
-      throw std::logic_error(
-          "parallel_for: nested use from inside a ThreadPool chunk");
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }

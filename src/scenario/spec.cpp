@@ -1,71 +1,23 @@
 #include "scenario/spec.hpp"
 
-#include <cctype>
 #include <fstream>
 #include <istream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/specparse.hpp"
+
 namespace laacad::scenario {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("line " + std::to_string(line) + ": " + what);
-}
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream ss(line);
-  std::string tok;
-  while (ss >> tok) {
-    if (tok[0] == '#') break;  // trailing comment
-    out.push_back(tok);
-  }
-  return out;
-}
-
-double parse_double(const std::string& s, int line, const std::string& key) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    fail(line, "'" + key + "' expects a number, got '" + s + "'");
-  }
-}
-
-int parse_int(const std::string& s, int line, const std::string& key) {
-  try {
-    std::size_t used = 0;
-    const int v = std::stoi(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    fail(line, "'" + key + "' expects an integer, got '" + s + "'");
-  }
-}
-
-std::uint64_t parse_uint64(const std::string& s, int line,
-                           const std::string& key) {
-  try {
-    std::size_t used = 0;
-    const unsigned long long v = std::stoull(s, &used);
-    if (used != s.size()) throw std::invalid_argument(s);
-    return static_cast<std::uint64_t>(v);
-  } catch (const std::exception&) {
-    fail(line,
-         "'" + key + "' expects an unsigned integer, got '" + s + "'");
-  }
-}
-
-bool parse_bool(const std::string& s, int line, const std::string& key) {
-  if (s == "1" || s == "true" || s == "yes") return true;
-  if (s == "0" || s == "false" || s == "no") return false;
-  fail(line, "'" + key + "' expects a boolean, got '" + s + "'");
-}
+using specparse::fail;
+using specparse::parse_bool;
+using specparse::parse_double;
+using specparse::parse_int;
+using specparse::parse_uint64;
+using specparse::tokenize;
 
 /// `name=value` pairs trailing an event line.
 std::unordered_map<std::string, std::string> parse_args(
@@ -198,6 +150,28 @@ const char* to_string(EventType t) {
   return "?";
 }
 
+bool set_key(ScenarioSpec& spec, const std::string& key,
+             const std::string& val, int line) {
+  if (key == "domain") spec.domain = val;
+  else if (key == "side") spec.side = parse_double(val, line, key);
+  else if (key == "hole") spec.hole = parse_bool(val, line, key);
+  else if (key == "deploy") spec.deploy = val;
+  else if (key == "nodes") spec.nodes = parse_int(val, line, key);
+  else if (key == "k") spec.k = parse_int(val, line, key);
+  else if (key == "alpha") spec.alpha = parse_double(val, line, key);
+  else if (key == "epsilon") spec.epsilon = parse_double(val, line, key);
+  else if (key == "max_rounds") spec.max_rounds = parse_int(val, line, key);
+  else if (key == "gamma") spec.gamma = parse_double(val, line, key);
+  else if (key == "backend") spec.backend = val;
+  else if (key == "max_hops") spec.max_hops = parse_int(val, line, key);
+  else if (key == "noise") spec.noise = parse_double(val, line, key);
+  else if (key == "battery") spec.battery = parse_double(val, line, key);
+  else if (key == "grid_resolution")
+    spec.grid_resolution = parse_double(val, line, key);
+  else return false;
+  return true;
+}
+
 ScenarioSpec parse_scenario(std::istream& in) {
   ScenarioSpec spec;
   std::string line;
@@ -216,25 +190,10 @@ ScenarioSpec parse_scenario(std::istream& in) {
                        std::to_string(toks.size()) + " tokens");
     const std::string& val = toks[1];
     if (key == "name") spec.name = val;
-    else if (key == "domain") spec.domain = val;
-    else if (key == "side") spec.side = parse_double(val, lineno, key);
-    else if (key == "hole") spec.hole = parse_bool(val, lineno, key);
-    else if (key == "deploy") spec.deploy = val;
-    else if (key == "nodes") spec.nodes = parse_int(val, lineno, key);
-    else if (key == "k") spec.k = parse_int(val, lineno, key);
-    else if (key == "alpha") spec.alpha = parse_double(val, lineno, key);
-    else if (key == "epsilon") spec.epsilon = parse_double(val, lineno, key);
-    else if (key == "max_rounds") spec.max_rounds = parse_int(val, lineno, key);
-    else if (key == "gamma") spec.gamma = parse_double(val, lineno, key);
-    else if (key == "backend") spec.backend = val;
-    else if (key == "max_hops") spec.max_hops = parse_int(val, lineno, key);
-    else if (key == "noise") spec.noise = parse_double(val, lineno, key);
     else if (key == "seed") spec.seed = parse_uint64(val, lineno, key);
     else if (key == "threads") spec.num_threads = parse_int(val, lineno, key);
-    else if (key == "battery") spec.battery = parse_double(val, lineno, key);
-    else if (key == "grid_resolution")
-      spec.grid_resolution = parse_double(val, lineno, key);
-    else fail(lineno, "unknown key '" + key + "'");
+    else if (!set_key(spec, key, val, lineno))
+      fail(lineno, "unknown key '" + key + "'");
   }
 
   // at-round events must be non-decreasing in file order, or the "fire in

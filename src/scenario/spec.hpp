@@ -99,6 +99,17 @@ struct ScenarioSpec {
   std::vector<Event> events;
 };
 
+/// Set one *physical* config key (domain, side, hole, deploy, nodes, k,
+/// alpha, epsilon, max_rounds, gamma, backend, max_hops, noise, battery,
+/// grid_resolution) from its textual value, parsed exactly as the file
+/// format parses it. Returns false for keys outside this set (name, seed,
+/// threads, event — those stay with their owning parser: the campaign
+/// engine sweeps physical keys through this call but must never sweep
+/// identity or execution keys). Throws std::runtime_error ("line N: ...")
+/// on a malformed value.
+bool set_key(ScenarioSpec& spec, const std::string& key,
+             const std::string& value, int line);
+
 /// Parse a scenario from a stream. Throws std::runtime_error with a
 /// "line N: ..." message on malformed input; unknown keys are errors (a
 /// typo silently ignored would corrupt an experiment).

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/csv.hpp"
@@ -22,13 +23,20 @@ TEST(Summary, BasicMoments) {
 }
 
 TEST(Summary, EmptyAndSingle) {
+  // Empty aggregates are NaN, not a fabricated 0 — JsonWriter maps
+  // non-finite to null, so downstream metric files degrade cleanly.
   Summary e;
   EXPECT_EQ(e.count(), 0u);
-  EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(e.mean()));
   EXPECT_DOUBLE_EQ(e.variance(), 0.0);
   Summary s = summarize({7.0});
   EXPECT_DOUBLE_EQ(s.mean(), 7.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Mean, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
 }
 
 TEST(Percentile, InterpolatesLinearly) {
@@ -37,7 +45,27 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0)));
+  // A singleton is every percentile.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  // Out-of-range p clamps to the extremes.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 140), 2.0);
+}
+
+TEST(Ci95HalfWidth, Convention) {
+  Summary e;
+  EXPECT_TRUE(std::isnan(ci95_half_width(e)));
+  Summary one = summarize({4.0});
+  EXPECT_DOUBLE_EQ(ci95_half_width(one), 0.0);
+  Summary s = summarize({1.0, 3.0});  // population stddev 1, n = 2
+  EXPECT_NEAR(ci95_half_width(s), 1.96 / std::sqrt(2.0), 1e-12);
 }
 
 TEST(JainFairness, Extremes) {
@@ -62,6 +90,22 @@ TEST(Rng, UniformRangeRespected) {
     EXPECT_GE(k, 5);
     EXPECT_LE(k, 9);
   }
+}
+
+TEST(Rng, DeriveIsPureAndOrderSensitive) {
+  // Pure function of its arguments: no generator state involved.
+  EXPECT_EQ(Rng::derive(42, 7), Rng::derive(42, 7));
+  // Nearby streams decorrelate (full splitmix64 avalanche).
+  EXPECT_NE(Rng::derive(42, 0), Rng::derive(42, 1));
+  EXPECT_NE(Rng::derive(42, 0), Rng::derive(43, 0));
+  // Never the identity, even at the zero fixed point of naive mixes.
+  EXPECT_NE(Rng::derive(0, 0), 0u);
+  // Multi-level derivation chains and is order-sensitive.
+  EXPECT_EQ(Rng::derive(9, 1, 2), Rng::derive(Rng::derive(9, 1), 2));
+  EXPECT_NE(Rng::derive(9, 1, 2), Rng::derive(9, 2, 1));
+  // Derived seeds feed ordinary generators reproducibly.
+  Rng a(Rng::derive(5, 3)), b(Rng::derive(5, 3));
+  EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
 }
 
 TEST(Rng, ForkDecorrelates) {
