@@ -17,10 +17,41 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 
 namespace laacad::benchutil {
+
+/// Swept value at `key` for a campaign trial — by key, not axis position,
+/// so reordering sweep lines in a spec cannot silently swap a figure's
+/// columns or wreck SVG names.
+inline std::string axis_value(const campaign::TrialPoint& pt,
+                              const std::string& key) {
+  for (const auto& [axis, value] : pt.values)
+    if (axis == key) return value;
+  return "?";
+}
+
+/// The campaign-bench harness shared by the figure benches: size one `Row`
+/// per trial of the expanded grid (worker-thread probes index `rows` by
+/// `pt.trial`, so the buffer must never be smaller than the matrix), run
+/// the campaign across LAACAD_THREADS workers with `probe` observing each
+/// finished trial, and return the aggregated result. The probe runs on
+/// worker threads; writing only rows[pt.trial] and per-trial files needs
+/// no lock.
+template <typename Row, typename Probe>
+campaign::CampaignResult run_campaign_with_probe(campaign::CampaignSpec spec,
+                                                 std::vector<Row>& rows,
+                                                 Probe&& probe) {
+  campaign::CampaignOptions opt;
+  opt.workers = num_threads();
+  opt.probe = std::forward<Probe>(probe);
+  campaign::CampaignScheduler scheduler(std::move(spec), std::move(opt));
+  rows.assign(scheduler.trials().size(), Row{});
+  return scheduler.run();
+}
 
 /// Per-experiment seed derivation: a named base stream advanced by the
 /// sweep indices through Rng::derive (splitmix64). Replaces ad-hoc

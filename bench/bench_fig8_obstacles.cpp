@@ -4,15 +4,26 @@
 // run we verify exact k-coverage, that no node sits on an obstacle, and the
 // "even clustering as if the area were regular" claim via the cluster-size
 // statistic of Fig. 5.
+//
+// The (domain x k) grid runs through the campaign engine: the domains are
+// declarative scenarios (scenarios/fig8_{lshape,cross}.scn, using the
+// obstacle spec lines), the sweep is campaigns/fig8_obstacles.cmp loaded
+// from the source tree, and a probe lifts the final network out of each
+// trial for the feasibility/cluster checks and the SVGs. The bespoke
+// domain-construction-and-k loop is gone. One methodology change rides
+// along, as in the fig6/fig5 ports: each (domain, k) cell draws its own
+// seeded uniform deployment via the campaign's derived seeds instead of
+// reusing one RNG stream across k.
+#include <fstream>
 #include <functional>
 #include <numeric>
 
 #include "bench_common.hpp"
+#include "campaign/scheduler.hpp"
 #include "coverage/critical.hpp"
 #include "coverage/grid_checker.hpp"
-#include "laacad/engine.hpp"
+#include "scenario/runner.hpp"
 #include "viz/render.hpp"
-#include "wsn/deployment.hpp"
 
 namespace {
 
@@ -39,47 +50,81 @@ std::size_t cluster_count(const std::vector<geom::Vec2>& pts, double radius) {
   return clusters;
 }
 
-void run_domain(const std::string& name, const wsn::Domain& domain,
-                TextTable& table) {
-  const int n = 120;
-  for (int k : {2, 4, 6, 8}) {
-    Rng rng(benchutil::derived_seed(900, k));
-    wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
-    core::LaacadConfig cfg;
-    cfg.k = k;
-    cfg.epsilon = 2.0;
-    cfg.max_rounds = 220;
-    core::Engine engine(net, cfg);
-    const auto result = engine.run();
+/// What the probe lifts out of each finished trial (per trial index).
+struct ObstacleRow {
+  bool have = false;
+  bool feasible = false;     ///< no node on an obstacle / outside the domain
+  std::size_t clusters = 0;  ///< union-find clusters at 0.1 R*
+  int nodes = 0;
+  int verified_depth = 0;    ///< exact critical-point min coverage depth
+};
 
-    bool feasible = true;
-    for (const wsn::Node& node : net.nodes())
-      feasible = feasible && domain.contains(node.pos);
-    const auto exact =
-        cov::critical_point_coverage(domain, cov::sensing_disks(net));
-    const std::size_t clusters =
-        cluster_count(net.positions(), 0.10 * result.final_max_range);
-    const double mean_cluster = static_cast<double>(n) / clusters;
+using benchutil::axis_value;
 
-    table.add_row({name, std::to_string(k), std::to_string(result.rounds),
-                   TextTable::num(result.final_max_range, 1),
-                   TextTable::num(mean_cluster, 2), feasible ? "yes" : "NO",
-                   std::to_string(exact.min_depth)});
-    viz::render_deployment("fig8_" + name + "_k" + std::to_string(k) + ".svg",
-                           net);
-  }
+/// "../scenarios/fig8_lshape.scn" -> "lshape", for table rows + SVG names.
+std::string domain_label(const std::string& scenario_path) {
+  std::string label = scenario_path;
+  if (const auto slash = label.find_last_of("/\\");
+      slash != std::string::npos)
+    label = label.substr(slash + 1);
+  if (const auto prefix = label.find("fig8_"); prefix == 0)
+    label = label.substr(5);
+  if (const auto dot = label.find_last_of('.'); dot != std::string::npos)
+    label.resize(dot);
+  return label;
 }
 
 void experiment() {
+  std::vector<ObstacleRow> rows;
+  const campaign::CampaignResult result = benchutil::run_campaign_with_probe(
+      campaign::load_campaign_file(std::string(LAACAD_SOURCE_DIR) +
+                                   "/campaigns/fig8_obstacles.cmp"),
+      rows,
+      [&rows](const campaign::TrialPoint& pt,
+              const scenario::ScenarioRunner& runner,
+              const scenario::ScenarioResult& result) {
+        ObstacleRow& row = rows[static_cast<std::size_t>(pt.trial)];
+        const wsn::Network& net = runner.network();
+        row.nodes = net.size();
+        row.feasible = true;
+        for (const wsn::Node& node : net.nodes())
+          row.feasible = row.feasible && runner.domain().contains(node.pos);
+        row.clusters = cluster_count(
+            net.positions(), 0.10 * result.phases.back().final_max_range);
+        row.verified_depth =
+            cov::critical_point_coverage(runner.domain(),
+                                         cov::sensing_disks(net))
+                .min_depth;
+        viz::render_deployment(
+            "fig8_" + domain_label(axis_value(pt, "scenario")) + "_k" +
+                axis_value(pt, "k") + ".svg",
+            net);
+        row.have = true;
+      });
+
   TextTable table({"domain", "k", "rounds", "R* (m)", "mean cluster size",
                    "nodes off obstacles", "verified depth"});
-  wsn::Domain lshape = wsn::Domain::lshape(1000, 1000)
-                           .with_rect_hole({150, 150}, {330, 330});
-  run_domain("lshape", lshape, table);
-  wsn::Domain cross = wsn::Domain::cross(1000, 1000, 0.4)
-                          .with_rect_hole({460, 120}, {560, 240})
-                          .with_rect_hole({430, 720}, {560, 820});
-  run_domain("cross", cross, table);
+  const std::size_t rounds_m = campaign::metric_index("total_rounds");
+  const std::size_t rmax_m = campaign::metric_index("max_range");
+  for (std::size_t i = 0; i < result.trials.size(); ++i) {
+    const campaign::TrialResult& trial = result.trials[i];
+    const ObstacleRow& row = rows[i];
+    if (!row.have) {  // trial threw or aborted: the probe never ran
+      benchutil::TableSink::instance().note(
+          "fig8 campaign trial FAILED — no figure produced: " +
+          (trial.error.empty() ? "aborted" : trial.error));
+      return;
+    }
+    const double mean_cluster = static_cast<double>(row.nodes) /
+                                static_cast<double>(row.clusters);
+    table.add_row({domain_label(axis_value(result.points[i], "scenario")),
+                   axis_value(result.points[i], "k"),
+                   TextTable::num(trial.metrics[rounds_m], 0),
+                   TextTable::num(trial.metrics[rmax_m], 1),
+                   TextTable::num(mean_cluster, 2),
+                   row.feasible ? "yes" : "NO",
+                   std::to_string(row.verified_depth)});
+  }
   benchutil::TableSink::instance().add(
       "Fig. 8 — irregular areas with obstacles (120 nodes)", std::move(table));
   benchutil::TableSink::instance().note(
@@ -87,6 +132,11 @@ void experiment() {
       "off obstacles, k-covers the area, and shows the same even clustering "
       "(mean cluster size ~ k) as in regular areas. SVGs: "
       "fig8_{lshape,cross}_k{2,4,6,8}.svg.");
+
+  std::ofstream json("BENCH_campaign_fig8_obstacles.json");
+  if (json) result.write_json(json);
+  benchutil::TableSink::instance().note(
+      "campaign aggregates: BENCH_campaign_fig8_obstacles.json");
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 //
 // Usage:
 //   campaign_runner <campaign-file> [--workers N] [--resume] [--json PATH]
-//                   [--csv PATH] [--manifest PATH] [--dry-run] [--quiet]
+//                   [--csv PATH] [--manifest PATH] [--shard i/N]
+//                   [--dry-run] [--quiet]
 //
 // The campaign format is documented in src/campaign/spec.hpp and the
 // README; shipped examples live in campaigns/. Outputs (defaults derive
@@ -14,6 +15,13 @@
 // All outputs are byte-identical for every --workers value and for any
 // interrupt/--resume split. Exit status 0 iff every trial completed with
 // verified final k-coverage.
+//
+// With --shard i/N this process runs only its stride partition of the
+// matrix (trial % N == i, see src/dist/partition.hpp), journals into
+// BENCH_campaign_<name>.shard-i-of-N.manifest, and emits no aggregates —
+// those come from merging all N shard manifests (campaign_fleet, which
+// also spawns local shard fleets; cross-host runs rsync the manifests and
+// merge with --merge-only). Per-shard --resume works unchanged.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,19 +30,24 @@
 
 #include "campaign/scheduler.hpp"
 #include "common/table.hpp"
+#include "dist/partition.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s <campaign-file> [--workers N] [--resume] [--json PATH]\n"
-      "          [--csv PATH] [--manifest PATH] [--dry-run] [--quiet]\n"
+      "          [--csv PATH] [--manifest PATH] [--shard i/N] [--dry-run]\n"
+      "          [--quiet]\n"
       "  --workers N   trial-level parallelism (0 = hardware); outputs are\n"
       "                byte-identical for every value\n"
       "  --resume      skip trials already journaled in the manifest\n"
       "  --json PATH   aggregate output (default BENCH_campaign_<name>.json)\n"
       "  --csv PATH    trial log (default BENCH_campaign_<name>_trials.csv)\n"
       "  --manifest PATH  journal path (default BENCH_campaign_<name>.manifest)\n"
+      "  --shard i/N   run only this stride partition of the trial matrix,\n"
+      "                journal to BENCH_campaign_<name>.shard-i-of-N.manifest,\n"
+      "                emit no aggregates (merge shards with campaign_fleet)\n"
       "  --dry-run     print the expanded trial matrix and exit\n",
       argv0);
 }
@@ -56,7 +69,7 @@ int main(int argc, char** argv) {
 
   std::string path, json_path, csv_path, manifest_path;
   campaign::CampaignOptions opt;
-  bool dry_run = false, quiet = false;
+  bool dry_run = false, quiet = false, shard_given = false;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     auto next_value = [&](const char* what) -> const char* {
@@ -82,6 +95,15 @@ int main(int argc, char** argv) {
     else if (flag == "--json") json_path = next_value("--json");
     else if (flag == "--csv") csv_path = next_value("--csv");
     else if (flag == "--manifest") manifest_path = next_value("--manifest");
+    else if (flag == "--shard") {
+      try {
+        opt.shard = dist::parse_shard(next_value("--shard"));
+        shard_given = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--shard: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -91,14 +113,27 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) { usage(argv[0]); return 2; }
 
+  // Any explicit --shard — including the degenerate 0/1 a one-shard fleet
+  // passes — selects journal-only mode; aggregates belong to the merge.
+  const bool sharded = shard_given;
+  if (sharded && (!json_path.empty() || !csv_path.empty())) {
+    std::fprintf(stderr,
+                 "--shard runs emit no aggregates (--json/--csv): merge "
+                 "the shard manifests with campaign_fleet instead\n");
+    return 2;
+  }
+
   campaign::CampaignResult result;
+  std::string name;
   try {
     campaign::CampaignSpec spec = campaign::load_campaign_file(path);
-    const std::string name = spec.name;
+    name = spec.name;
     if (json_path.empty()) json_path = "BENCH_campaign_" + name + ".json";
     if (csv_path.empty()) csv_path = "BENCH_campaign_" + name + "_trials.csv";
     if (manifest_path.empty())
-      manifest_path = "BENCH_campaign_" + name + ".manifest";
+      manifest_path = sharded
+                          ? dist::shard_manifest_path(name, opt.shard)
+                          : "BENCH_campaign_" + name + ".manifest";
     opt.manifest_path = manifest_path;
     if (!quiet) {
       opt.on_trial = [](const campaign::TrialPoint& pt,
@@ -112,12 +147,23 @@ int main(int argc, char** argv) {
       };
     }
 
+    // opt is consumed next; keep the shard coordinates for the printouts.
+    const dist::ShardSpec shard = opt.shard;
     campaign::CampaignScheduler scheduler(std::move(spec), std::move(opt));
     if (dry_run) {
-      std::printf("campaign '%s': %zu trials\n", name.c_str(),
-                  scheduler.trials().size());
+      // A sharded dry run lists only the slice this process would run.
+      std::size_t owned = 0;
+      for (const auto& pt : scheduler.trials())
+        if (dist::owns(shard, pt.trial)) ++owned;
+      if (sharded)
+        std::printf("campaign '%s': shard %s owns %zu of %zu trials\n",
+                    name.c_str(), dist::to_string(shard).c_str(), owned,
+                    scheduler.trials().size());
+      else
+        std::printf("campaign '%s': %zu trials\n", name.c_str(), owned);
       TextTable table({"trial", "point", "rep", "seed", "values"});
       for (const auto& pt : scheduler.trials()) {
+        if (!dist::owns(shard, pt.trial)) continue;
         table.add_row({std::to_string(pt.trial), std::to_string(pt.point),
                        std::to_string(pt.rep), std::to_string(pt.seed),
                        describe_point(pt.values)});
@@ -129,6 +175,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_runner: %s\n", e.what());
     return 2;
+  }
+
+  if (sharded) {
+    // A shard holds a partial matrix: aggregates would be meaningless, so
+    // only the journal leaves this process. campaign_fleet (or a
+    // --merge-only run over rsync'd manifests) produces the real outputs.
+    if (!quiet) {
+      std::printf(
+          "shard %s of campaign '%s': %d trials run, %d resumed — "
+          "journal %s\nmerge all %d shard manifests with campaign_fleet "
+          "to get aggregates\n",
+          dist::to_string(result.shard).c_str(), name.c_str(),
+          result.executed, result.recovered, manifest_path.c_str(),
+          result.shard.count);
+    }
+    return result.all_ok() ? 0 : 1;
   }
 
   std::ofstream json_out(json_path);

@@ -99,11 +99,29 @@ void write_point_values(
 }  // namespace
 
 bool CampaignResult::all_ok() const {
-  return std::all_of(trials.begin(), trials.end(),
-                     [](const TrialResult& t) { return t.ok; });
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (!dist::owns(shard, static_cast<int>(i))) continue;
+    if (!trials[i].ok) return false;
+  }
+  return true;
 }
 
+namespace {
+
+/// Serializing a sharded result would emit default rows for every trial the
+/// shard never ran, silently poisoning the aggregates with fake failures.
+void require_full_matrix(const dist::ShardSpec& shard, const char* what) {
+  if (shard.sharded())
+    throw std::logic_error(
+        std::string(what) + " on a shard " + dist::to_string(shard) +
+        " result: a sharded run holds a partial trial matrix — merge the "
+        "shard manifests (dist::merge_manifests) and serialize that");
+}
+
+}  // namespace
+
 void CampaignResult::write_json(std::ostream& out) const {
+  require_full_matrix(shard, "write_json");
   JsonWriter w(out);
   w.begin_object();
   w.kv("schema", "laacad.campaign.v1");
@@ -192,6 +210,7 @@ void CampaignResult::write_json(std::ostream& out) const {
 }
 
 void CampaignResult::write_csv(std::ostream& out) const {
+  require_full_matrix(shard, "write_csv");
   const auto cell = [](const std::string& s) { return CsvWriter::escape(s); };
   out << "trial,point,rep,seed";
   for (const Axis& axis : spec.axes) out << ',' << cell(axis.key);
@@ -216,13 +235,18 @@ CampaignScheduler::CampaignScheduler(CampaignSpec spec, CampaignOptions opt)
   if (opt_.workers < 0)
     throw std::runtime_error(
         "campaign: workers must be >= 0 (0 = hardware concurrency)");
+  dist::validate(opt_.shard);
   points_ = expand_grid(spec_);
 }
 
 CampaignResult CampaignScheduler::run() {
   const int total = static_cast<int>(points_.size());
-  ResultStore store(opt_.manifest_path, fingerprint(spec_), total,
-                    opt_.resume);
+  ManifestHeader header;
+  header.fingerprint = fingerprint(spec_);
+  header.trials = total;
+  header.metrics = static_cast<int>(metric_names().size());
+  header.shard = opt_.shard;
+  ResultStore store(opt_.manifest_path, header, opt_.resume);
 
   std::vector<TrialResult> results(points_.size());
   std::vector<bool> have(points_.size(), false);
@@ -232,10 +256,14 @@ CampaignResult CampaignScheduler::run() {
   }
   const int n_recovered = static_cast<int>(store.recovered().size());
 
+  // The shard's slice of the matrix (the whole matrix when unsharded),
+  // minus what the manifest already has.
+  const std::vector<int> owned = dist::shard_trials(opt_.shard, total);
   std::vector<int> pending;
-  pending.reserve(points_.size());
-  for (int i = 0; i < total; ++i)
+  pending.reserve(owned.size());
+  for (const int i : owned)
     if (!have[static_cast<std::size_t>(i)]) pending.push_back(i);
+  const int shard_total = static_cast<int>(owned.size());
 
   if (!pending.empty()) {
     // Dynamic trial queue over the deterministic pool: workers pull the
@@ -252,14 +280,14 @@ CampaignResult CampaignScheduler::run() {
         if (q >= pending.size()) break;
         const TrialPoint& pt =
             points_[static_cast<std::size_t>(pending[q])];
-        TrialResult r = run_trial(spec_, pt, opt_.keep_history);
+        TrialResult r = run_trial(spec_, pt, opt_.keep_history, opt_.probe);
         store.record(r);
         std::lock_guard<std::mutex> g(lock);
         results[static_cast<std::size_t>(pt.trial)] = std::move(r);
         ++done;
         if (opt_.on_trial)
           opt_.on_trial(pt, results[static_cast<std::size_t>(pt.trial)],
-                        done, total);
+                        done, shard_total);
       }
     });
   }
@@ -268,7 +296,9 @@ CampaignResult CampaignScheduler::run() {
   out.spec = spec_;
   out.points = points_;
   out.trials = std::move(results);
-  out.groups = aggregate_groups(spec_, points_, out.trials);
+  out.shard = opt_.shard;
+  if (!opt_.shard.sharded())
+    out.groups = aggregate_groups(spec_, points_, out.trials);
   out.executed = static_cast<int>(pending.size());
   out.recovered = n_recovered;
   return out;

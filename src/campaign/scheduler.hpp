@@ -18,6 +18,7 @@
 
 #include "campaign/spec.hpp"
 #include "campaign/trial.hpp"
+#include "dist/partition.hpp"
 
 namespace laacad::campaign {
 
@@ -28,10 +29,21 @@ struct CampaignOptions {
   std::string manifest_path;
   /// Retain per-trial round history in memory (never serialized).
   bool keep_history = false;
+  /// Run only the trials this shard owns (stride partition, see
+  /// dist/partition.hpp) and stamp the shard coordinates into the manifest
+  /// header. {0, 1} — the default — runs the whole matrix. A sharded run
+  /// produces a partial CampaignResult whose aggregates are meaningless;
+  /// merge the shard manifests (dist::merge_manifests) for the real ones.
+  dist::ShardSpec shard;
   /// Progress hook, called under the scheduler lock as each trial lands:
-  /// (point, result, completed count, total trials).
+  /// (point, result, completed count, total trials this shard owns).
   std::function<void(const TrialPoint&, const TrialResult&, int, int)>
       on_trial;
+  /// Observation hook for in-memory embedders (figure benches): called on
+  /// each *successful* trial, from the worker thread that ran it, with the
+  /// still-live runner (final network + domain state) and the full scenario
+  /// record. Must be thread-safe; must not retain the references.
+  TrialProbe probe;
 };
 
 /// Aggregate of one metric over a group's finite samples. NaN (JSON null)
@@ -64,17 +76,24 @@ struct CampaignResult {
   std::vector<GroupAggregate> groups;  ///< by grid-point index
   int executed = 0;   ///< trials run now (rest recovered from the manifest)
   int recovered = 0;  ///< trials replayed from the manifest
+  /// Which slice of the matrix this result actually ran; trials the shard
+  /// does not own are default rows (trial == -1). {0, 1} = the full matrix.
+  dist::ShardSpec shard;
 
+  /// Every owned trial completed with verified final k-coverage. A sharded
+  /// result judges only its own slice.
   bool all_ok() const;
 
   /// BENCH_campaign_<name>.json: config echo, axes, per-trial rows, grouped
   /// aggregates, summary. Execution details (worker count, resume split,
   /// manifest path) are never serialized — output is byte-identical across
-  /// worker counts and across interrupt/resume.
+  /// worker counts and across interrupt/resume. Throws std::logic_error on
+  /// a sharded result: a partial matrix must be merged first
+  /// (dist::merge_manifests), never half-serialized.
   void write_json(std::ostream& out) const;
 
   /// Trial log: one CSV row per trial (identity, axis values, ok, metrics),
-  /// in trial order. Same determinism contract as the JSON.
+  /// in trial order. Same determinism and sharding contract as the JSON.
   void write_csv(std::ostream& out) const;
 };
 

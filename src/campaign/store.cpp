@@ -1,150 +1,66 @@
 #include "campaign/store.hpp"
 
-#include <cmath>
-#include <cstdlib>
-#include <limits>
-#include <sstream>
 #include <stdexcept>
-
-#include "common/json_writer.hpp"
 
 namespace laacad::campaign {
 
-namespace {
-
-constexpr const char* kMagic = "laacad.campaign.manifest.v1";
-
-std::string header_line(std::uint64_t fingerprint, int total_trials,
-                        std::size_t metrics) {
-  std::ostringstream ss;
-  ss << kMagic << " fp=" << std::hex << fingerprint << std::dec
-     << " trials=" << total_trials << " metrics=" << metrics;
-  return ss.str();
-}
-
-/// Parse one journaled double; "null" is NaN (how number_to_string prints
-/// it). Returns false on garbage — the caller drops the line.
-bool parse_metric(const std::string& tok, double* out) {
-  if (tok == "null") {
-    *out = std::numeric_limits<double>::quiet_NaN();
-    return true;
-  }
-  char* end = nullptr;
-  *out = std::strtod(tok.c_str(), &end);
-  return end != tok.c_str() && *end == '\0';
-}
-
-/// Reversible single-line encoding for error text: the journal is
-/// line-oriented, but the error must round-trip *exactly* (the aggregate
-/// JSON emits it, so resumed runs reproduce failing campaigns byte for
-/// byte even if some future exception message carries a newline).
-std::string escape_error(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '\\') out += "\\\\";
-    else if (c == '\n') out += "\\n";
-    else if (c == '\r') out += "\\r";
-    else out += c;
-  }
-  return out;
-}
-
-std::string unescape_error(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 >= s.size()) {
-      out += s[i];
-      continue;
-    }
-    const char next = s[++i];
-    out += next == 'n' ? '\n' : next == 'r' ? '\r' : next;
-  }
-  return out;
-}
-
-/// One journal row, always closed by the " ;" terminator: a kill mid-write
-/// cannot truncate a row into a different *valid* row (a cut final metric
-/// like "83.43827" still parses as a plausible double — only the missing
-/// terminator gives it away). The error message, if any, trails the fixed
-/// metric columns as length-prefixed escaped text ("E<len> <text>").
-std::string format_row(const TrialResult& r) {
-  std::ostringstream ss;
-  ss << "trial " << r.trial << ' ' << (r.ok ? 1 : 0);
-  for (const double m : r.metrics)
-    ss << ' ' << JsonWriter::number_to_string(m);
-  if (!r.error.empty()) {
-    const std::string escaped = escape_error(r.error);
-    ss << " E" << escaped.size() << ' ' << escaped;
-  }
-  ss << " ;";
-  return ss.str();
-}
-
-}  // namespace
-
-ResultStore::ResultStore(std::string path, std::uint64_t fingerprint,
-                         int total_trials, bool resume)
+ResultStore::ResultStore(std::string path, ManifestHeader header, bool resume)
     : path_(std::move(path)) {
   if (path_.empty()) return;  // journaling disabled
-  const std::string header =
-      header_line(fingerprint, total_trials, metric_names().size());
 
+  const std::string expected_header = format_manifest_header(header);
   if (resume) {
     std::ifstream in(path_);
-    if (in) {
-      std::string line;
-      if (!std::getline(in, line) || line != header)
-        throw std::runtime_error(
-            "manifest " + path_ +
-            " does not match this campaign spec (different sweep, trial "
-            "count, or metric schema) — delete it or drop --resume");
-      while (std::getline(in, line)) {
-        std::istringstream ss(line);
-        std::string tag;
-        int trial = -1, ok = 0;
-        if (!(ss >> tag >> trial >> ok) || tag != "trial" || trial < 0 ||
-            trial >= total_trials)
-          break;  // truncated/garbled tail: ignore from here on
-        TrialResult r;
-        r.trial = trial;
-        r.ok = ok != 0;
-        r.metrics.reserve(metric_names().size());
-        std::string tok;
-        bool good = true;
-        for (std::size_t m = 0; m < metric_names().size(); ++m) {
-          double v = 0.0;
-          if (!(ss >> tok) || !parse_metric(tok, &v)) {
-            good = false;
-            break;
-          }
-          r.metrics.push_back(v);
-        }
-        if (!good) break;
-        // The rest of the row must end with the " ;" terminator, with an
-        // optional length-prefixed error before it. Either check failing
-        // means the row was cut mid-write: drop it and everything after.
+    std::string line;
+    if (in && std::getline(in, line)) {
+      // The exact header this store writes: replay the journal. Anything
+      // else is torn, foreign, or garbage — disambiguated below.
+      if (line == expected_header) {
+        recovered_ = replay_manifest_rows(in, header.trials);
+      } else {
+        // A kill inside the open-truncate-write window leaves a *strict
+        // prefix* of the header this store would itself write — possibly
+        // one that still parses (the shard token cut clean off reads as a
+        // valid unsharded header) — and, because that write is the
+        // journal's very first, nothing after it. Recover nothing and let
+        // the rewrite below restore a valid journal, so a crash-restart
+        // with --resume (what campaign_fleet does) never aborts on it.
+        // Content *after* a prefix line is the decisive signal that this
+        // is a complete foreign journal (e.g. pointing a shard at the
+        // full unsharded manifest, whose header is a prefix of the
+        // sharded one) — refuse rather than destroy its rows.
+        const bool strict_prefix =
+            line.size() < expected_header.size() &&
+            expected_header.compare(0, line.size(), line) == 0;
         std::string rest;
-        std::getline(ss, rest);
-        if (rest.size() < 2 || rest.compare(rest.size() - 2, 2, " ;") != 0)
-          break;
-        rest.resize(rest.size() - 2);
-        if (!rest.empty()) {
-          if (rest.size() < 4 || rest[0] != ' ' || rest[1] != 'E') break;
-          const std::size_t sp = rest.find(' ', 2);
-          if (sp == std::string::npos) break;
-          char* end = nullptr;
-          const long len = std::strtol(rest.c_str() + 2, &end, 10);
-          if (end != rest.c_str() + sp || len <= 0) break;
-          const std::string escaped = rest.substr(sp + 1);
-          if (static_cast<long>(escaped.size()) != len) break;
-          r.error = unescape_error(escaped);
+        const bool trailing_content =
+            static_cast<bool>(std::getline(in, rest));
+        if (!strict_prefix || trailing_content) {
+          if (const auto found = parse_manifest_header(line))
+            throw std::runtime_error(
+                "manifest " + path_ +
+                " does not match this campaign spec: expected " +
+                describe_manifest_header(header) + ", found " +
+                describe_manifest_header(*found) +
+                " (different sweep, trial count, metric schema, or shard) "
+                "— delete it or drop --resume");
+          throw std::runtime_error(
+              "manifest " + path_ +
+              " is not a campaign manifest — refusing to overwrite it "
+              "(check the --manifest path)");
         }
-        // Keep the first completion of a trial; duplicates can only appear
-        // if a resumed run re-recorded one, and both rows are identical by
-        // determinism anyway.
-        recovered_.emplace(trial, std::move(r));
+      }
+      // The header pinned this journal to one shard; a row the shard does
+      // not own cannot be a truncated tail (those stop the replay) — it is
+      // corruption or a renamed file, and trusting it would smuggle another
+      // shard's trials past the merge's overlap check.
+      for (const auto& [trial, r] : recovered_) {
+        if (!dist::owns(header.shard, trial))
+          throw std::runtime_error(
+              "manifest " + path_ + " records trial " +
+              std::to_string(trial) + ", which shard " +
+              dist::to_string(header.shard) +
+              " does not own — file corrupted or mixed up between shards");
       }
     }
   }
@@ -154,15 +70,16 @@ ResultStore::ResultStore(std::string path, std::uint64_t fingerprint,
   out_.open(path_, std::ios::trunc);
   if (!out_)
     throw std::runtime_error("cannot open campaign manifest: " + path_);
-  out_ << header << '\n';
-  for (const auto& [trial, r] : recovered_) out_ << format_row(r) << '\n';
+  out_ << expected_header << '\n';
+  for (const auto& [trial, r] : recovered_)
+    out_ << format_manifest_row(r) << '\n';
   out_.flush();
 }
 
 void ResultStore::record(const TrialResult& result) {
   if (path_.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  out_ << format_row(result) << '\n';
+  out_ << format_manifest_row(result) << '\n';
   out_.flush();
 }
 

@@ -3,28 +3,20 @@
 // Completed trials are appended to a line-oriented manifest the moment they
 // finish (flushed per line, under a mutex), so killing a campaign mid-run
 // loses at most the trials in flight. Re-running with resume replays the
-// manifest: rows whose fingerprint header matches the current spec are
-// trusted verbatim and their trials are never re-executed — and because
-// per-trial seeds derive from trial identity, the final aggregates are
-// byte-identical to an uninterrupted run.
-//
-// Format (text, one record per line):
-//   laacad.campaign.manifest.v1 fp=<hex fingerprint> trials=<N> metrics=<M>
-//   trial <index> <ok:0|1> <m1> <m2> ... <mM> [E<len> <error text>] ;
-// Doubles use JsonWriter::number_to_string (shortest exact round-trip;
-// NaN prints as null); a failed trial's error message is journaled
-// length-prefixed so it round-trips into the aggregate JSON; the " ;"
-// terminator marks a row as completely written. A truncated or malformed
-// tail — the signature of a kill mid-write — is ignored from the first
-// bad line on.
+// manifest: rows whose header matches the current spec (fingerprint, trial
+// count, metric schema, shard coordinates) are trusted verbatim and their
+// trials are never re-executed — and because per-trial seeds derive from
+// trial identity, the final aggregates are byte-identical to an
+// uninterrupted run. The line format lives in campaign/manifest.hpp; the
+// shard partition scheme in dist/partition.hpp.
 #pragma once
 
-#include <cstdint>
 #include <map>
 #include <mutex>
 #include <fstream>
 #include <string>
 
+#include "campaign/manifest.hpp"
 #include "campaign/trial.hpp"
 
 namespace laacad::campaign {
@@ -32,13 +24,18 @@ namespace laacad::campaign {
 class ResultStore {
  public:
   /// Opens the manifest at `path`. With `resume` an existing file is
-  /// replayed into recovered() and then appended to; its header must match
-  /// (fingerprint, trial count, metric count) or this throws
-  /// std::runtime_error — resuming a different campaign would silently mix
-  /// experiments. Without `resume` the file is truncated. An empty `path`
-  /// disables journaling entirely (in-memory embedders like benches).
-  ResultStore(std::string path, std::uint64_t fingerprint, int total_trials,
-              bool resume);
+  /// replayed into recovered() and then appended to; a parseable header
+  /// that differs from `header` throws std::runtime_error reporting both
+  /// the expected and the found fingerprint/trial/metric/shard values —
+  /// resuming a different campaign (or the wrong shard) would silently mix
+  /// experiments. A missing, empty, or torn header (a kill inside the
+  /// open-truncate-write window) recovers nothing and is rewritten, like
+  /// any truncated tail, so crash-restarts with resume always go through.
+  /// A replayed row for a trial the header's shard does not own is
+  /// corruption, not truncation, and throws. Without `resume` the file is
+  /// truncated. An empty `path` disables journaling entirely (in-memory
+  /// embedders like benches).
+  ResultStore(std::string path, ManifestHeader header, bool resume);
 
   /// Trials recovered from an interrupted run, keyed by trial index.
   /// History is never journaled, so recovered rows have none.

@@ -61,7 +61,7 @@ scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
 }
 
 TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
-                      bool keep_history) {
+                      bool keep_history, const TrialProbe& probe) {
   TrialResult r;
   r.trial = point.trial;
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
@@ -74,6 +74,7 @@ TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
   try {
     scenario::ScenarioRunner runner(resolve_trial_spec(spec, point));
     result = runner.run();
+    if (probe && !result.aborted) probe(point, runner, result);
   } catch (const std::exception& e) {
     r.error = e.what();
     set("aborted", 1.0);

@@ -4,13 +4,26 @@
 // serialization of a trial is column-compatible with every other.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "campaign/spec.hpp"
 #include "laacad/engine.hpp"
 
+namespace laacad::scenario {
+class ScenarioRunner;
+struct ScenarioResult;
+}  // namespace laacad::scenario
+
 namespace laacad::campaign {
+
+/// Observation hook run_trial invokes on a successful trial with the
+/// still-live runner and the full scenario record (see
+/// CampaignOptions::probe for the threading contract).
+using TrialProbe = std::function<void(
+    const TrialPoint&, const scenario::ScenarioRunner&,
+    const scenario::ScenarioResult&)>;
 
 /// Ordered scalar metric names (bools encoded 0/1, counts as doubles).
 /// Index into TrialResult::metrics.
@@ -45,8 +58,10 @@ scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
 
 /// Execute one trial. Never throws: a failing trial (invalid resolved spec,
 /// unreadable scenario file, runtime abort) returns the NaN row described
-/// above with `error` set.
+/// above with `error` set. A non-null `probe` is invoked on success, while
+/// the runner is still alive; a probe that throws fails the trial.
 TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
-                      bool keep_history = false);
+                      bool keep_history = false,
+                      const TrialProbe& probe = nullptr);
 
 }  // namespace laacad::campaign

@@ -1,0 +1,298 @@
+#include "dist/fleet.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "campaign/spec.hpp"
+#include "dist/merge.hpp"
+#include "dist/partition.hpp"
+
+namespace laacad::dist {
+
+#ifndef _WIN32
+
+namespace {
+
+/// One supervised shard process. fd < 0 means not currently running.
+struct Worker {
+  ShardSpec shard;
+  std::string manifest;
+  pid_t pid = -1;
+  int fd = -1;          ///< read end of the child's stdout+stderr pipe
+  std::string buf;      ///< carry-over for partial lines
+  int restarts = 0;
+  bool done = false;
+};
+
+/// Fork/exec one shard of the campaign; the child's stdout and stderr are
+/// funneled into a pipe the supervisor streams. `resume` re-runs only the
+/// trials the shard's journal is missing.
+void spawn(const FleetOptions& opt, Worker& w, bool resume) {
+  int fds[2];
+  if (pipe(fds) != 0)
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  const std::string shard_arg = to_string(w.shard);
+  const std::string workers_arg = std::to_string(opt.workers);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire both streams into the pipe and become the shard runner.
+    close(fds[0]);
+    dup2(fds[1], STDOUT_FILENO);
+    dup2(fds[1], STDERR_FILENO);
+    close(fds[1]);
+    std::vector<const char*> argv = {
+        opt.runner.c_str(),   opt.campaign_path.c_str(),
+        "--shard",            shard_arg.c_str(),
+        "--workers",          workers_arg.c_str(),
+        "--manifest",         w.manifest.c_str(),
+    };
+    if (resume) argv.push_back("--resume");
+    argv.push_back(nullptr);
+    execv(opt.runner.c_str(), const_cast<char* const*>(argv.data()));
+    // Only reached when exec failed; report through the pipe and die with
+    // the infrastructure code so the supervisor aborts instead of retrying.
+    std::fprintf(stderr, "exec %s: %s\n", opt.runner.c_str(),
+                 std::strerror(errno));
+    _exit(2);
+  }
+  close(fds[1]);
+  w.pid = pid;
+  w.fd = fds[0];
+  w.buf.clear();
+}
+
+/// Print complete lines from the worker's buffer, prefixed with its shard.
+void flush_lines(Worker& w, bool quiet, bool final) {
+  if (quiet) {
+    w.buf.clear();
+    return;
+  }
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < w.buf.size(); ++i) {
+    if (w.buf[i] != '\n') continue;
+    std::printf("[shard %s] %.*s\n", to_string(w.shard).c_str(),
+                static_cast<int>(i - start), w.buf.data() + start);
+    start = i + 1;
+  }
+  w.buf.erase(0, start);
+  if (final && !w.buf.empty()) {
+    std::printf("[shard %s] %s\n", to_string(w.shard).c_str(),
+                w.buf.c_str());
+    w.buf.clear();
+  }
+  std::fflush(stdout);
+}
+
+void terminate_all(std::vector<Worker>& workers) {
+  for (Worker& w : workers) {
+    if (w.pid > 0 && !w.done) kill(w.pid, SIGTERM);
+  }
+  for (Worker& w : workers) {
+    if (w.pid > 0 && !w.done) {
+      waitpid(w.pid, nullptr, 0);
+      w.done = true;
+    }
+    if (w.fd >= 0) {
+      close(w.fd);
+      w.fd = -1;
+    }
+  }
+}
+
+}  // namespace
+
+int run_fleet(const FleetOptions& opt) {
+  campaign::CampaignSpec spec;
+  try {
+    spec = campaign::load_campaign_file(opt.campaign_path);
+    if (opt.shards < 1)
+      throw std::runtime_error("fleet needs --shards >= 1");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_fleet: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string dir =
+      opt.manifest_dir.empty() ? std::string() : opt.manifest_dir + "/";
+  std::vector<Worker> workers;
+  std::vector<std::string> shard_paths;
+  for (int i = 0; i < opt.shards; ++i) {
+    Worker w;
+    w.shard = ShardSpec{i, opt.shards};
+    w.manifest = dir + shard_manifest_path(spec.name, w.shard);
+    shard_paths.push_back(w.manifest);
+    workers.push_back(std::move(w));
+  }
+
+  if (!opt.merge_only) {
+    try {
+      for (Worker& w : workers) spawn(opt, w, opt.resume);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign_fleet: %s\n", e.what());
+      terminate_all(workers);
+      return 2;
+    }
+
+    // Supervision loop: stream output, reap exits, restart crashes with
+    // --resume (the journal makes restarts cheap: only unfinished trials
+    // re-run). Runs until every shard has exited cleanly or crashed out.
+    bool infra_failure = false;
+    while (!infra_failure) {
+      std::vector<pollfd> fds;
+      std::vector<Worker*> live;
+      for (Worker& w : workers) {
+        if (w.fd < 0) continue;
+        fds.push_back({w.fd, POLLIN, 0});
+        live.push_back(&w);
+      }
+      if (fds.empty()) break;
+      if (poll(fds.data(), fds.size(), -1) < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "campaign_fleet: poll: %s\n",
+                     std::strerror(errno));
+        infra_failure = true;
+        break;
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        Worker& w = *live[i];
+        char chunk[4096];
+        const ssize_t n = read(w.fd, chunk, sizeof(chunk));
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        if (n > 0) {
+          w.buf.append(chunk, static_cast<std::size_t>(n));
+          flush_lines(w, opt.quiet, false);
+          continue;
+        }
+        // EOF: the child is gone (or closed its pipe); reap and decide.
+        flush_lines(w, opt.quiet, true);
+        close(w.fd);
+        w.fd = -1;
+        int status = 0;
+        waitpid(w.pid, &status, 0);
+        w.pid = -1;
+        if (WIFEXITED(status)) {
+          const int code = WEXITSTATUS(status);
+          w.done = true;
+          if (code == 2) {
+            // Spec/usage/exec failure: deterministic, every restart and
+            // every sibling would hit it too.
+            std::fprintf(stderr,
+                         "campaign_fleet: shard %s failed fatally "
+                         "(exit 2); aborting fleet\n",
+                         to_string(w.shard).c_str());
+            infra_failure = true;
+          } else if (!opt.quiet) {
+            std::printf("[shard %s] exited with status %d\n",
+                        to_string(w.shard).c_str(), code);
+            std::fflush(stdout);
+          }
+        } else if (w.restarts < opt.max_restarts) {
+          ++w.restarts;
+          if (!opt.quiet) {
+            std::printf("[shard %s] crashed (signal %d); restarting with "
+                        "--resume (%d/%d)\n",
+                        to_string(w.shard).c_str(),
+                        WIFSIGNALED(status) ? WTERMSIG(status) : 0,
+                        w.restarts, opt.max_restarts);
+            std::fflush(stdout);
+          }
+          try {
+            spawn(opt, w, /*resume=*/true);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "campaign_fleet: %s\n", e.what());
+            infra_failure = true;
+          }
+        } else {
+          std::fprintf(stderr,
+                       "campaign_fleet: shard %s crashed %d times; "
+                       "giving up (its manifest resumes with "
+                       "campaign_runner --shard %s --resume)\n",
+                       to_string(w.shard).c_str(), w.restarts + 1,
+                       to_string(w.shard).c_str());
+          w.done = true;
+          infra_failure = true;
+        }
+      }
+    }
+    if (infra_failure) {
+      terminate_all(workers);
+      return 2;
+    }
+  }
+
+  // Merge: validation + unified manifest + aggregates, byte-identical to a
+  // single-process run. rsync'd remote shard manifests take the same path
+  // via --merge-only.
+  campaign::CampaignResult result;
+  const std::string base = "BENCH_campaign_" + spec.name;
+  const std::string merged = opt.merged_manifest_path.empty()
+                                 ? dir + base + ".manifest"
+                                 : opt.merged_manifest_path;
+  try {
+    result = merge_manifests(spec, shard_paths, merged);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_fleet: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string json_path =
+      opt.json_path.empty() ? dir + base + ".json" : opt.json_path;
+  const std::string csv_path =
+      opt.csv_path.empty() ? dir + base + "_trials.csv" : opt.csv_path;
+  {
+    std::ofstream json(json_path, std::ios::trunc);
+    if (!json) {
+      std::fprintf(stderr, "campaign_fleet: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    result.write_json(json);
+    std::ofstream csv(csv_path, std::ios::trunc);
+    if (!csv) {
+      std::fprintf(stderr, "campaign_fleet: cannot write %s\n",
+                   csv_path.c_str());
+      return 2;
+    }
+    result.write_csv(csv);
+  }
+  if (!opt.quiet) {
+    std::printf(
+        "fleet '%s': %zu trials over %d shards merged, %zu grid points, "
+        "%s\naggregates: %s\ntrial log: %s\nmerged manifest: %s\n",
+        result.spec.name.c_str(), result.trials.size(), opt.shards,
+        result.groups.size(), result.all_ok() ? "all ok" : "FAILURES",
+        json_path.c_str(), csv_path.c_str(), merged.c_str());
+  }
+  return result.all_ok() ? 0 : 1;
+}
+
+#else  // _WIN32
+
+int run_fleet(const FleetOptions&) {
+  std::fprintf(stderr,
+               "campaign_fleet: process supervision requires POSIX "
+               "fork/exec; use campaign_runner --shard i/N per process "
+               "and merge the manifests\n");
+  return 2;
+}
+
+#endif
+
+}  // namespace laacad::dist

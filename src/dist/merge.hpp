@@ -1,0 +1,43 @@
+// Manifest merge — turns the per-shard journals of a distributed campaign
+// back into the single result an unsharded run would have produced.
+//
+// Every shard journals its trials with per-trial seeds derived from trial
+// identity (never from which process or worker ran them), so the merged
+// trial matrix — and therefore the grouped-aggregate JSON and the trial
+// CSV — is byte-identical to a single-process run for every (shard count,
+// per-shard worker count) combination. The merge validates before it
+// trusts: all shards must share one fingerprint and one shard scheme, and
+// every trial index must appear exactly once across the fleet. Overlaps
+// and gaps are hard errors, never silently patched — a gap usually means a
+// shard was killed mid-run (its truncated tail is tolerated exactly like
+// ResultStore replay) and the fix is to resume that one shard, which the
+// error message names.
+//
+// Cross-host workflow: run `campaign_runner --shard i/N` on each host,
+// rsync the `*.shard-*-of-N.manifest` files to one place, and merge there
+// (`campaign_fleet <spec> --shards N --merge-only`). The merged manifest is
+// written unsharded and row-sorted, byte-identical to the journal of an
+// uninterrupted serial run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/scheduler.hpp"
+
+namespace laacad::dist {
+
+/// Merge the shard manifests at `shard_paths` (any order) into the unified
+/// manifest at `merged_path`, then replay it into a full CampaignResult —
+/// aggregates and all, ready for CampaignResult::write_json/write_csv.
+/// Throws std::runtime_error naming the offending file and values when a
+/// shard is missing or duplicated, a header's fingerprint / trial count /
+/// metric schema disagrees with `spec` or the other shards, a row sits in
+/// a shard that does not own it, or any trial index is absent (e.g. a
+/// truncated shard that needs `--shard i/N --resume`).
+campaign::CampaignResult merge_manifests(
+    const campaign::CampaignSpec& spec,
+    const std::vector<std::string>& shard_paths,
+    const std::string& merged_path);
+
+}  // namespace laacad::dist

@@ -1,0 +1,57 @@
+// Shard partition — how one campaign's trial matrix is split across
+// processes (and, via rsync'd manifests, across hosts).
+//
+// The partition is *strided*: shard i of S owns every trial t with
+// t % S == i. Chosen over contiguous blocks because the trial matrix is
+// ordered point-major (all repetitions of grid point 0, then point 1, ...)
+// and per-trial cost varies mostly by grid point — a contiguous split would
+// hand one shard all the expensive points while another drains the cheap
+// ones, whereas the stride interleaves every shard across the whole grid.
+// The scheme is fixed forever for a given (i, S): it is part of the shard
+// manifest's identity (the merge rejects rows a shard does not own), so it
+// must never depend on runtime state.
+//
+// This header is dependency-free on purpose: the campaign layer (scheduler,
+// manifest codec) consumes it without pulling in the rest of src/dist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace laacad::dist {
+
+/// Shard coordinates: this process owns partition `index` of `count`.
+/// {0, 1} is the unsharded identity (owns every trial).
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  bool sharded() const { return count > 1; }
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Throws std::runtime_error unless 0 <= index < count.
+void validate(const ShardSpec& shard);
+
+/// Stride partition membership: trial % count == index.
+bool owns(const ShardSpec& shard, int trial);
+
+/// The trial indices this shard owns, ascending, out of `total_trials`.
+std::vector<int> shard_trials(const ShardSpec& shard, int total_trials);
+
+/// |shard_trials| without materializing it.
+int shard_size(const ShardSpec& shard, int total_trials);
+
+/// "i/N" — the CLI and header syntax.
+std::string to_string(const ShardSpec& shard);
+
+/// Parse "i/N" (e.g. "2/8"); throws std::runtime_error on malformed input
+/// or out-of-range coordinates.
+ShardSpec parse_shard(const std::string& text);
+
+/// Canonical per-shard journal name:
+/// BENCH_campaign_<name>.shard-<i>-of-<N>.manifest
+std::string shard_manifest_path(const std::string& campaign_name,
+                                const ShardSpec& shard);
+
+}  // namespace laacad::dist

@@ -29,19 +29,134 @@ geom::Vec2 bbox_point(const wsn::Domain& domain, geom::Vec2 fraction) {
           bb.lo.y + fraction.y * bb.height()};
 }
 
+/// Decompose the *new* blocked area of an axis-aligned rectangle —
+/// rect ∩ outer ring, minus every existing hole — into disjoint
+/// axis-aligned cells. This is what lets obstacles and jams overlap freely:
+/// instead of unioning hole polygons (a general boolean op), only the area
+/// not already blocked becomes new holes, so the hole list stays pairwise
+/// disjoint (the Domain invariant that keeps area bookkeeping and cell
+/// clipping exact) while the *blocked region* is the union.
+///
+/// The grid is cut at every outer/hole vertex coordinate inside the rect.
+/// Every domain the scenario format can build is axis-aligned rectilinear
+/// (square/lshape/cross outlines, rectangular obstacles and jams, uniform
+/// resize scaling), so each cell lies entirely inside or outside each ring
+/// and the midpoint test classifies it exactly.
+std::vector<geom::Ring> new_blocked_cells(const wsn::Domain& domain,
+                                          geom::Vec2 lo, geom::Vec2 hi) {
+  std::vector<double> xs = {lo.x, hi.x}, ys = {lo.y, hi.y};
+  auto collect = [&](const geom::Ring& ring) {
+    for (const geom::Vec2& v : ring) {
+      if (v.x > lo.x && v.x < hi.x) xs.push_back(v.x);
+      if (v.y > lo.y && v.y < hi.y) ys.push_back(v.y);
+    }
+  };
+  collect(domain.outer());
+  for (const geom::Ring& h : domain.holes()) collect(h);
+  auto dedupe = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    // Merge near-identical cuts: a sliver thinner than 1e-9 m carries no
+    // area and would only produce degenerate cells.
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](double a, double b) { return b - a < 1e-9; }),
+            v.end());
+  };
+  dedupe(xs);
+  dedupe(ys);
+
+  std::vector<geom::Ring> cells;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    // Cells in one x-strip merge vertically when contiguous, so a jam over
+    // clear ground stays one rectangle per strip instead of a grid.
+    std::size_t open = cells.size();  // first cell index of this strip
+    for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+      const geom::Vec2 c{(xs[i] + xs[i + 1]) / 2, (ys[j] + ys[j + 1]) / 2};
+      bool blocked = !geom::contains_point(domain.outer(), c, 0.0);
+      for (const geom::Ring& h : domain.holes()) {
+        if (blocked) break;
+        blocked = geom::contains_point(h, c, 0.0);
+      }
+      if (blocked) {
+        open = cells.size() + 1;  // break vertical contiguity
+        continue;
+      }
+      if (open < cells.size()) {
+        cells.back()[2].y = ys[j + 1];  // extend the open cell upward
+        cells.back()[3].y = ys[j + 1];
+      } else {
+        cells.push_back(geom::box_ring(
+            {{xs[i], ys[j]}, {xs[i + 1], ys[j + 1]}}));
+        open = cells.size() - 1;
+      }
+    }
+  }
+  return cells;
+}
+
+/// Apply `cells` as new holes; nullptr when nothing remains to cover.
+std::unique_ptr<wsn::Domain> with_blocked_cells(
+    const wsn::Domain& domain, const std::vector<geom::Ring>& cells) {
+  std::vector<geom::Ring> holes = domain.holes();
+  holes.insert(holes.end(), cells.begin(), cells.end());
+  auto out = std::make_unique<wsn::Domain>(domain.outer(), std::move(holes));
+  if (out->area() <= 1e-6) return nullptr;
+  return out;
+}
+
+/// True when the rect touches the domain's outer ring at all (used to
+/// distinguish "outside the domain" from "already fully blocked").
+bool rect_touches_domain(const wsn::Domain& domain, geom::Vec2 lo,
+                         geom::Vec2 hi) {
+  const geom::Ring clipped = geom::dedupe_ring(
+      geom::sutherland_hodgman(domain.outer(), geom::box_ring({lo, hi})));
+  return geom::area(clipped) > 1e-6;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     : spec_(std::move(spec)), rng_(spec_.seed) {
   validate(spec_);
-  domains_.push_back(std::make_unique<wsn::Domain>(
-      wsn::make_named_domain(spec_.domain, spec_.side, spec_.hole)));
+  wsn::Domain base =
+      wsn::make_named_domain(spec_.domain, spec_.side, spec_.hole);
+  // Declared obstacles are punched up front, with the same union-by-
+  // decomposition the jam_region event uses, so they may overlap each
+  // other (or the canned `hole`) freely.
+  for (const ObstacleRect& rect : spec_.obstacles) {
+    const geom::Vec2 lo = bbox_point(base, rect.lo);
+    const geom::Vec2 hi = bbox_point(base, rect.hi);
+    if (!rect_touches_domain(base, lo, hi))
+      throw std::runtime_error(
+          "obstacle (spec line " + std::to_string(rect.line) +
+          "): rectangle lies outside the domain");
+    const auto cells = new_blocked_cells(base, lo, hi);
+    if (cells.empty()) continue;  // fully inside earlier obstacles
+    auto blocked = with_blocked_cells(base, cells);
+    if (!blocked)
+      throw std::runtime_error(
+          "obstacle (spec line " + std::to_string(rect.line) +
+          "): no coverage area remains");
+    base = std::move(*blocked);
+  }
+  domains_.push_back(std::make_unique<wsn::Domain>(std::move(base)));
   const wsn::Domain& domain = *domains_.back();
 
-  net_ = std::make_unique<wsn::Network>(
-      &domain,
-      wsn::deploy_named(domain, spec_.deploy, spec_.nodes, spec_.side, rng_),
-      auto_gamma(spec_, domain));
+  std::vector<geom::Vec2> initial;
+  if (spec_.deploy == "stacked") {
+    // Groups of k co-located nodes on uniform anchors — the paper's "even
+    // clustering" equilibrium as a start. Count rounds down to a multiple
+    // of k, matching the Fig. 5 construction; validate() guarantees
+    // nodes >= k, so there is always at least one group.
+    const int groups = spec_.nodes / spec_.k;
+    const auto anchors = wsn::deploy_uniform(domain, groups, rng_);
+    initial = wsn::stacked(anchors, spec_.k, rng_, 1e-3);
+  } else {
+    initial =
+        wsn::deploy_named(domain, spec_.deploy, spec_.nodes, spec_.side, rng_);
+  }
+  initial_positions_ = initial;
+  net_ = std::make_unique<wsn::Network>(&domain, std::move(initial),
+                                        auto_gamma(spec_, domain));
   battery_.assign(static_cast<std::size_t>(net_->size()), spec_.battery);
 
   core::LaacadConfig cfg;
@@ -230,32 +345,26 @@ EventRecord ScenarioRunner::apply_event(const Event& ev, int index) {
       const geom::Vec2 lo = bbox_point(domain(), ev.lo);
       const geom::Vec2 hi = bbox_point(domain(), ev.hi);
       // The spec rect is in bbox fractions, so on a non-rectangular domain
-      // it can spill outside the outer ring; clip it first to honour the
-      // Domain precondition that holes lie inside the outer ring. An
-      // out-of-domain or overlapping jam is a scenario-author error —
-      // reject it loudly rather than corrupt area bookkeeping.
-      const geom::Ring rect = geom::box_ring({lo, hi});
-      const geom::Ring hole =
-          geom::dedupe_ring(geom::sutherland_hodgman(domain().outer(), rect));
-      if (geom::area(hole) <= 1e-6)
+      // it can spill outside the outer ring, and jams may overlap earlier
+      // jams or declared obstacles: the blocked region becomes the *union*.
+      // Only the newly blocked area (decomposed into disjoint cells) is
+      // added as holes, which keeps Domain's pairwise-disjointness invariant
+      // and exact area bookkeeping. A jam entirely outside the domain is
+      // still a scenario-author error — reject it loudly.
+      if (!rect_touches_domain(domain(), lo, hi))
         throw std::runtime_error(
             "jam_region (spec line " + std::to_string(ev.line) +
             "): rectangle lies outside the domain");
-      for (const geom::Ring& existing : domain().holes()) {
-        const geom::Ring overlap =
-            geom::dedupe_ring(geom::sutherland_hodgman(existing, rect));
-        if (geom::area(overlap) > 1e-6)
-          throw std::runtime_error(
-              "jam_region (spec line " + std::to_string(ev.line) +
-              "): rectangle overlaps an existing obstacle");
+      const auto cells = new_blocked_cells(domain(), lo, hi);
+      if (cells.empty()) {
+        // Union semantics: re-jamming blocked ground changes nothing.
+        rec.detail = "rectangle already jammed; no new area";
+        break;
       }
-      std::vector<geom::Ring> holes = domain().holes();
-      holes.push_back(hole);
-      auto jammed =
-          std::make_unique<wsn::Domain>(domain().outer(), std::move(holes));
+      auto jammed = with_blocked_cells(domain(), cells);
       // Something must remain to cover: a jam swallowing (essentially) the
       // whole domain would leave every node infeasible.
-      if (jammed->area() <= 1e-6)
+      if (!jammed)
         throw std::runtime_error(
             "jam_region (spec line " + std::to_string(ev.line) +
             "): no coverage area remains after the jam");
@@ -277,6 +386,7 @@ ScenarioResult ScenarioRunner::run() {
   ScenarioResult result;
   result.spec = spec_;
   result.resolved_gamma = net_->gamma();
+  result.initial_positions = initial_positions_;
 
   int next_event = 0;
   std::string cause = "initial";
@@ -330,6 +440,18 @@ void ScenarioResult::write_json(std::ostream& out) const {
   w.kv("domain", spec.domain);
   w.kv("side", spec.side);
   w.kv("hole", spec.hole);
+  if (!spec.obstacles.empty()) {
+    w.key("obstacles").begin_array();
+    for (const ObstacleRect& rect : spec.obstacles) {
+      w.begin_array();
+      w.value(rect.lo.x);
+      w.value(rect.lo.y);
+      w.value(rect.hi.x);
+      w.value(rect.hi.y);
+      w.end_array();
+    }
+    w.end_array();
+  }
   w.kv("deploy", spec.deploy);
   w.kv("nodes", spec.nodes);
   w.kv("k", spec.k);

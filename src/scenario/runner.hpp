@@ -62,6 +62,10 @@ struct EventRecord {
 struct ScenarioResult {
   ScenarioSpec spec;
   double resolved_gamma = 0.0;  ///< comm range actually used (auto or spec)
+  /// The deployment the timeline started from — for renderers and probes
+  /// (figure benches) that want before/after pictures. In-memory only;
+  /// never serialized into the JSON.
+  std::vector<geom::Vec2> initial_positions;
   std::vector<PhaseRecord> phases;
   std::vector<EventRecord> events;
   int total_rounds = 0;
@@ -103,6 +107,7 @@ class ScenarioRunner {
   std::unique_ptr<wsn::Network> net_;
   std::unique_ptr<core::Engine> engine_;
   std::vector<double> battery_;  ///< parallel to net_->nodes()
+  std::vector<geom::Vec2> initial_positions_;
   Rng rng_;                      ///< deployment + event randomness, in order
   int global_round_ = 0;
 };

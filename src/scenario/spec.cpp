@@ -185,6 +185,24 @@ ScenarioSpec parse_scenario(std::istream& in) {
       spec.events.push_back(parse_event(toks, lineno));
       continue;
     }
+    if (key == "obstacle") {
+      if (toks.size() != 5)
+        fail(lineno, "obstacle needs four bbox fractions: "
+                     "obstacle <x0> <y0> <x1> <y1>");
+      ObstacleRect rect;
+      rect.lo = {parse_double(toks[1], lineno, "x0"),
+                 parse_double(toks[2], lineno, "y0")};
+      rect.hi = {parse_double(toks[3], lineno, "x1"),
+                 parse_double(toks[4], lineno, "y1")};
+      rect.line = lineno;
+      if (!(rect.lo.x < rect.hi.x) || !(rect.lo.y < rect.hi.y))
+        fail(lineno, "obstacle rectangle is empty (need x0 < x1 and y0 < y1)");
+      if (rect.lo.x < 0.0 || rect.lo.y < 0.0 || rect.hi.x > 1.0 ||
+          rect.hi.y > 1.0)
+        fail(lineno, "obstacle coordinates are bbox fractions in [0,1]");
+      spec.obstacles.push_back(rect);
+      continue;
+    }
     if (toks.size() != 2)
       fail(lineno, "expected 'key value', got " +
                        std::to_string(toks.size()) + " tokens");
@@ -250,10 +268,17 @@ void validate(const ScenarioSpec& spec) {
       spec.domain != "cross")
     bad("unknown domain '" + spec.domain + "'");
   if (spec.deploy != "uniform" && spec.deploy != "corner" &&
-      spec.deploy != "gaussian")
+      spec.deploy != "gaussian" && spec.deploy != "stacked")
     bad("unknown deploy '" + spec.deploy + "'");
   if (spec.backend != "global" && spec.backend != "localized")
     bad("unknown backend '" + spec.backend + "'");
+  for (const ObstacleRect& rect : spec.obstacles) {
+    if (!(rect.lo.x < rect.hi.x) || !(rect.lo.y < rect.hi.y))
+      bad("obstacle rectangle is empty (need x0 < x1 and y0 < y1)");
+    if (rect.lo.x < 0.0 || rect.lo.y < 0.0 || rect.hi.x > 1.0 ||
+        rect.hi.y > 1.0)
+      bad("obstacle coordinates are bbox fractions in [0,1]");
+  }
 }
 
 }  // namespace laacad::scenario

@@ -75,6 +75,17 @@ struct Event {
   int line = 0;                   ///< source line, for error messages
 };
 
+/// One pre-punched rectangular obstacle, in bbox fractions like event
+/// rectangles: `obstacle x0 y0 x1 y1` in the spec file. This is what lets
+/// a scenario describe the paper's Fig. 8 domains (irregular outlines with
+/// specific obstacles) declaratively, rather than only the one canned
+/// `hole` rectangle.
+struct ObstacleRect {
+  geom::Vec2 lo{0.0, 0.0};
+  geom::Vec2 hi{1.0, 1.0};
+  int line = 0;  ///< source line, for error messages
+};
+
 /// Full experiment description. Defaults reproduce a modest 2-coverage run
 /// on the unit square scaled to 300 m.
 struct ScenarioSpec {
@@ -82,7 +93,13 @@ struct ScenarioSpec {
   std::string domain = "square";  ///< square | lshape | cross
   double side = 300.0;
   bool hole = false;              ///< pre-punch the laacad_sim obstacle
-  std::string deploy = "uniform"; ///< uniform | corner | gaussian
+  /// Extra obstacles punched at setup, after `hole`, in file order.
+  std::vector<ObstacleRect> obstacles;
+  /// uniform | corner | gaussian | stacked (stacked: floor(nodes/k)
+  /// uniformly placed anchors with k co-located nodes each — the paper's
+  /// "even clustering" equilibrium as a *starting* configuration; the
+  /// deployed count rounds down to a multiple of k).
+  std::string deploy = "uniform";
   int nodes = 40;
   int k = 2;
   double alpha = 1.0;

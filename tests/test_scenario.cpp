@@ -362,7 +362,11 @@ event converged jam_region x0=0.0 y0=0.0 x1=1.0 y1=1.0
   EXPECT_THROW(runner.run(), std::runtime_error);
 }
 
-TEST(ScenarioRunner, OverlappingJamRegionsAreRejected) {
+TEST(ScenarioRunner, OverlappingJamRegionsUnion) {
+  // Two jams sharing a 20 x 20 m corner: the blocked region must be their
+  // union (40*40 + 40*40 - 20*20 = 2800 m^2), achieved by adding only the
+  // *new* area of the second jam as disjoint holes — never double-counted,
+  // never rejected.
   const ScenarioSpec spec = parse_scenario_string(R"(
 name    double_jam
 side    200
@@ -374,7 +378,96 @@ event converged jam_region x0=0.4 y0=0.4 x1=0.6 y1=0.6
 event converged jam_region x0=0.5 y0=0.5 x1=0.7 y1=0.7
 )");
   ScenarioRunner runner(spec);
-  EXPECT_THROW(runner.run(), std::runtime_error);
+  const ScenarioResult result = runner.run();
+  EXPECT_FALSE(result.aborted);
+  EXPECT_NEAR(runner.domain().area(), 200.0 * 200.0 - 2800.0, 1e-6);
+  double holes_area = 0.0;
+  for (const auto& h : runner.domain().holes())
+    holes_area += geom::area(h);
+  EXPECT_NEAR(holes_area, 2800.0, 1e-6);
+  // The union is blocked and its complement is not.
+  EXPECT_FALSE(runner.domain().contains({100.0, 100.0}));  // in both jams
+  EXPECT_FALSE(runner.domain().contains({85.0, 85.0}));    // first jam only
+  EXPECT_FALSE(runner.domain().contains({135.0, 135.0}));  // second jam only
+  EXPECT_TRUE(runner.domain().contains({85.0, 135.0}));    // in neither
+  for (const auto& n : runner.network().nodes())
+    EXPECT_TRUE(runner.domain().contains(n.pos));
+}
+
+TEST(ScenarioRunner, RedundantJamInsideExistingJamIsANoOp) {
+  // Union semantics: re-jamming already-blocked ground adds no hole and
+  // swaps no domain, but the event still fires and ends the phase.
+  const ScenarioSpec spec = parse_scenario_string(R"(
+name    rejam
+side    200
+nodes   16
+k       1
+seed    7
+max_rounds 200
+event converged jam_region x0=0.3 y0=0.3 x1=0.7 y1=0.7
+event converged jam_region x0=0.4 y0=0.4 x1=0.6 y1=0.6
+)");
+  ScenarioRunner runner(spec);
+  const ScenarioResult result = runner.run();
+  EXPECT_FALSE(result.aborted);
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_NE(result.events[1].detail.find("no new area"), std::string::npos);
+  EXPECT_NEAR(runner.domain().area(), 200.0 * 200.0 - 80.0 * 80.0, 1e-6);
+}
+
+TEST(ScenarioRunner, DeclaredObstaclesArePunchedAtSetup) {
+  // Two overlapping obstacle lines union exactly like jams, and the
+  // deployment never lands on them.
+  const ScenarioSpec spec = parse_scenario_string(R"(
+name    obstacles
+side    200
+nodes   16
+k       1
+seed    9
+max_rounds 250
+obstacle 0.2 0.2 0.4 0.4
+obstacle 0.3 0.3 0.5 0.5
+)");
+  ASSERT_EQ(spec.obstacles.size(), 2u);
+  ScenarioRunner runner(spec);
+  EXPECT_NEAR(runner.domain().area(), 200.0 * 200.0 - 2800.0, 1e-6);
+  for (const auto& n : runner.network().nodes())
+    EXPECT_TRUE(runner.domain().contains(n.pos));
+  const ScenarioResult result = runner.run();
+  EXPECT_FALSE(result.aborted);
+  EXPECT_TRUE(result.final_coverage_ok);
+}
+
+TEST(ScenarioSpec, RejectsMalformedObstacles) {
+  EXPECT_THROW(parse_scenario_string("obstacle 0.2 0.2 0.4\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_string("obstacle 0.4 0.2 0.2 0.4\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_string("obstacle 0.2 0.2 0.4 1.4\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioRunner, StackedDeployStartsInGroupsOfK) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+name    stacked_start
+side    200
+deploy  stacked
+nodes   14
+k       3
+seed    11
+max_rounds 1
+)");
+  ScenarioRunner runner(spec);
+  // 14 nodes at k = 3 rounds down to 4 anchors x 3 nodes.
+  EXPECT_EQ(runner.network().size(), 12);
+  // Every node sits within the 1e-3 jitter of some anchor triple: the
+  // multiset of pairwise-close groups has exactly 4 clusters.
+  const auto& pts = runner.network().positions();
+  int close_pairs = 0;
+  for (std::size_t a = 0; a < pts.size(); ++a)
+    for (std::size_t b = a + 1; b < pts.size(); ++b)
+      if (geom::dist(pts[a], pts[b]) < 1.0) ++close_pairs;
+  EXPECT_EQ(close_pairs, 4 * 3);  // 4 groups x C(3,2) pairs each
 }
 
 TEST(ScenarioRunner, JamRegionClipsToNonRectangularOuterRing) {
