@@ -34,6 +34,8 @@ inline std::string axis_value(const campaign::TrialPoint& pt,
   return "?";
 }
 
+inline int num_threads();  // defined below; referenced by the template
+
 /// The campaign-bench harness shared by the figure benches: size one `Row`
 /// per trial of the expanded grid (worker-thread probes index `rows` by
 /// `pt.trial`, so the buffer must never be smaller than the matrix), run

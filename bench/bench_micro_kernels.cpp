@@ -5,6 +5,7 @@
 // experiment benches.
 #include <benchmark/benchmark.h>
 
+#include "common/perf_counters.hpp"
 #include "common/rng.hpp"
 #include "geometry/welzl.hpp"
 #include "voronoi/adaptive.hpp"
@@ -101,6 +102,110 @@ void BM_EnumerateAllCells(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnumerateAllCells)->Arg(1)->Arg(2)->Arg(4);
+
+// ------------------------------------------------- order-k kernel suite ----
+//
+// Brute vs grid-backed kernel on the fig6-style configuration (400 nodes on
+// 1 km^2), with the deterministic cost counters (site-distance evaluations,
+// clip passes, ring allocations) attached as benchmark counters so the
+// BENCH json artifact tracks the reduction — the acceptance bar is >= 2x
+// fewer dist2 evals for the grid kernel, independent of machine speed. Both
+// kernels produce bit-identical cells (ctest-enforced); only the cost moves.
+// Keep the configuration (seed 7, 400 sites on 1 km^2, interior node, grid
+// cell 50) in lockstep with GridKernel.HalvesDistanceEvalsOnFig6Config in
+// tests/test_orderk.cpp, which gates the same 2x bar in ctest.
+
+std::vector<Vec2> fig6_sites(int n) {
+  Rng rng(7);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0, 1000.0), rng.uniform(0, 1000.0)});
+  return vor::separate_sites(std::move(pts));
+}
+
+int interior_node(const std::vector<Vec2>& sites, Vec2 center) {
+  int best_i = 0;
+  double best = 1e18;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const double d = geom::dist(sites[i], center);
+    if (d < best) {
+      best = d;
+      best_i = static_cast<int>(i);
+    }
+  }
+  return best_i;
+}
+
+void report_kernel_counters(benchmark::State& state) {
+  const auto& c = perf::counters();
+  const auto per_iter = [&](std::uint64_t v) {
+    return benchmark::Counter(
+        static_cast<double>(v) / static_cast<double>(state.iterations()));
+  };
+  state.counters["dist2_evals"] = per_iter(c.dist2_evals);
+  state.counters["clip_calls"] = per_iter(c.clip_calls);
+  state.counters["ring_allocs"] = per_iter(c.ring_allocs);
+  state.counters["grid_queries"] = per_iter(c.grid_queries);
+  state.counters["cells"] = per_iter(c.cells_built);
+  state.counters["fallbacks"] = per_iter(c.kernel_fallbacks);
+}
+
+void BM_OrderKRegionBrute(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto sites = fig6_sites(400);
+  const Ring window = geom::box_ring({{0, 0}, {1000, 1000}});
+  const int i = interior_node(sites, {500, 500});
+  perf::counters().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::dominating_region_cells_brute(sites, i, k, window));
+  }
+  report_kernel_counters(state);
+}
+BENCHMARK(BM_OrderKRegionBrute)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_OrderKRegionGrid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto sites = fig6_sites(400);
+  const Ring window = geom::box_ring({{0, 0}, {1000, 1000}});
+  const int i = interior_node(sites, {500, 500});
+  const wsn::SpatialGrid grid(sites, 50.0);  // built once, reused per round
+  perf::counters().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::dominating_region_cells(sites, grid, i, k, window));
+  }
+  report_kernel_counters(state);
+}
+BENCHMARK(BM_OrderKRegionGrid)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_OrderKEnumerateBrute(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto sites = fig6_sites(120);
+  const Ring window = geom::box_ring({{0, 0}, {1000, 1000}});
+  perf::counters().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::enumerate_order_k_cells_brute(sites, k, window));
+  }
+  report_kernel_counters(state);
+}
+BENCHMARK(BM_OrderKEnumerateBrute)->Arg(1)->Arg(2);
+
+void BM_OrderKEnumerateGrid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto sites = fig6_sites(120);
+  const Ring window = geom::box_ring({{0, 0}, {1000, 1000}});
+  const wsn::SpatialGrid grid(sites, 95.0);
+  perf::counters().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vor::enumerate_order_k_cells(sites, grid, k, window));
+  }
+  report_kernel_counters(state);
+}
+BENCHMARK(BM_OrderKEnumerateGrid)->Arg(1)->Arg(2);
 
 void BM_GridWithin(benchmark::State& state) {
   auto pts = random_points(2000, 6, 1000.0);

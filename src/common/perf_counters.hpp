@@ -1,0 +1,40 @@
+// Thread-local event counters for the geometric hot path.
+//
+// The order-k kernel's cost model is "how many site-distance evaluations and
+// ring allocations does one region computation spend" — wall-clock alone
+// cannot distinguish a tighter candidate bound from a faster allocator, and
+// the 2x-style kernel claims in BENCH artifacts need a deterministic metric
+// that is identical across machines. Counters are plain thread-local
+// integers (one add per event batch, no atomics, no locks), cheap enough to
+// stay compiled in for Release builds; bench_micro_kernels resets them
+// around timed sections and reports the totals as benchmark counters, and
+// tests assert reduction ratios on fixed configurations.
+//
+// Threading: each thread owns an independent block, so the counts a kernel
+// call produces land on the calling thread. Code that fans region
+// computations across a pool must aggregate per worker if it wants totals;
+// the benches and tests pin their measured kernels to one thread instead.
+#pragma once
+
+#include <cstdint>
+
+namespace laacad::perf {
+
+struct KernelCounters {
+  std::uint64_t dist2_evals = 0;   ///< point-to-site distance evaluations
+  std::uint64_t clip_calls = 0;    ///< half-plane clip passes over a ring
+  std::uint64_t ring_allocs = 0;   ///< clips that allocated / grew a ring
+  std::uint64_t grid_queries = 0;  ///< SpatialGrid within / k_nearest / collect
+  std::uint64_t cells_built = 0;   ///< order-k cells constructed by the BFS
+  std::uint64_t kernel_fallbacks = 0;  ///< grid kernel exhausted every site
+
+  void reset() { *this = KernelCounters{}; }
+};
+
+/// The calling thread's counter block.
+inline KernelCounters& counters() {
+  thread_local KernelCounters tls;
+  return tls;
+}
+
+}  // namespace laacad::perf

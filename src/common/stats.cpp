@@ -9,15 +9,21 @@ namespace laacad {
 void Summary::add(double x) {
   ++n_;
   sum_ += x;
-  sumsq_ += x * x;
+  // Welford's recurrence: m2_ accumulates sum((x - running mean)^2)
+  // directly, so the variance never passes through the catastrophic
+  // `E[x^2] - E[x]^2` cancellation — for a metric with mean ~1e9 and
+  // stddev ~1 (energy totals), the naive formula loses every significant
+  // digit while this one keeps them all.
+  const double delta = x - wmean_;
+  wmean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - wmean_);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
 
 double Summary::variance() const {
   if (n_ < 2) return 0.0;
-  const double m = mean();
-  double v = sumsq_ / static_cast<double>(n_) - m * m;
+  const double v = m2_ / static_cast<double>(n_);
   return v > 0.0 ? v : 0.0;
 }
 
@@ -49,7 +55,10 @@ double ci95_half_width(const Summary& s) {
 }
 
 double jain_fairness(const std::vector<double>& xs) {
-  if (xs.empty()) return 1.0;
+  // Empty-input convention shared with mean()/percentile(): NaN (JSON
+  // null), never a fabricated "perfectly fair" 1.0 for a group that has no
+  // members at all.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   double s = 0.0, ss = 0.0;
   for (double x : xs) {
     s += x;

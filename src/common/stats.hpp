@@ -24,14 +24,17 @@ class Summary {
               : std::numeric_limits<double>::quiet_NaN();
   }
   double sum() const { return sum_; }
-  /// Population variance (0 for fewer than two samples).
+  /// Population variance (0 for fewer than two samples), accumulated with
+  /// Welford's algorithm — numerically stable for large-magnitude metrics
+  /// (mean >> stddev), where the sumsq - mean^2 form cancels to noise.
   double variance() const;
   double stddev() const;
 
  private:
   std::size_t n_ = 0;
   double sum_ = 0.0;
-  double sumsq_ = 0.0;
+  double wmean_ = 0.0;  ///< Welford running mean (variance accumulation only)
+  double m2_ = 0.0;     ///< Welford sum of squared deviations
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -53,7 +56,9 @@ double ci95_half_width(const Summary& s);
 
 /// Jain's fairness index: (Σx)² / (n·Σx²). Equals 1 when all entries are
 /// equal; approaches 1/n under maximal imbalance. Used to quantify the
-/// paper's "load balancing" claim.
+/// paper's "load balancing" claim. NaN for an empty input (the shared
+/// empty-aggregate convention); 1 for an all-zero input (degenerate but
+/// non-empty loads are "evenly" zero).
 double jain_fairness(const std::vector<double>& xs);
 
 }  // namespace laacad

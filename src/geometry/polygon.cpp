@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/perf_counters.hpp"
+
 namespace laacad::geom {
 
 double signed_area(const Ring& ring) {
@@ -120,25 +122,44 @@ std::optional<std::pair<std::size_t, double>> farthest_vertex(const Ring& ring,
   return std::make_pair(arg, best);
 }
 
-Ring clip_ring(const Ring& ring, const HalfPlane& hp, double eps) {
+void clip_ring_into(const Ring& ring, const HalfPlane& hp, Ring& out,
+                    double eps) {
+  out.clear();
   const std::size_t n = ring.size();
-  if (n == 0) return {};
-  Ring out;
-  out.reserve(n + 2);
+  if (n == 0) return;
+  auto& pc = perf::counters();
+  ++pc.clip_calls;
+  const std::size_t cap0 = out.capacity();
+  // Push with the dedupe_ring consecutive-duplicate check inlined, so the
+  // arena variant needs no second pass (and no second ring) to normalize.
+  auto push = [&](Vec2 v) {
+    if (out.empty() || !almost_equal(out.back(), v, eps)) out.push_back(v);
+  };
   for (std::size_t i = 0; i < n; ++i) {
     const Vec2 a = ring[i], b = ring[(i + 1) % n];
     const double da = hp.signed_dist(a);
     const double db = hp.signed_dist(b);
     const bool ina = da <= eps, inb = db <= eps;
-    if (ina) out.push_back(a);
+    if (ina) push(a);
     if (ina != inb) {
       // Edge crosses the boundary; da != db here because the signs differ
       // beyond +-eps on at least one side.
       const double t = da / (da - db);
-      out.push_back(lerp(a, b, std::clamp(t, 0.0, 1.0)));
+      push(lerp(a, b, std::clamp(t, 0.0, 1.0)));
     }
   }
-  return dedupe_ring(out, eps);
+  while (out.size() >= 2 && almost_equal(out.front(), out.back(), eps))
+    out.pop_back();
+  if (out.size() < 3) out.clear();
+  if (out.capacity() != cap0) ++pc.ring_allocs;
+}
+
+Ring clip_ring(const Ring& ring, const HalfPlane& hp, double eps) {
+  Ring out;
+  out.reserve(ring.size() + 2);
+  if (!ring.empty()) ++perf::counters().ring_allocs;
+  clip_ring_into(ring, hp, out, eps);
+  return out;
 }
 
 Ring sutherland_hodgman(const Ring& subject, const Ring& convex_window,

@@ -72,6 +72,13 @@ std::optional<std::pair<std::size_t, double>> farthest_vertex(const Ring& ring,
 /// enclosing-circle uses in this project.
 Ring clip_ring(const Ring& ring, const HalfPlane& hp, double eps = kEps);
 
+/// Allocation-free variant of clip_ring for hot loops: writes the clipped,
+/// deduped result into `out` (cleared first; capacity is reused, so a caller
+/// ping-ponging two scratch rings performs no heap traffic once warm).
+/// `out` must not alias `ring`. Result is element-identical to clip_ring().
+void clip_ring_into(const Ring& ring, const HalfPlane& hp, Ring& out,
+                    double eps = kEps);
+
 /// Clip an arbitrary subject ring against a convex window ring (CCW):
 /// successive `clip_ring` against each window edge.
 Ring sutherland_hodgman(const Ring& subject, const Ring& convex_window,

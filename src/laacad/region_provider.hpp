@@ -12,11 +12,24 @@
 // Implementations:
 //   GlobalRegionProvider    — the adaptive exact Lemma-1 solver over a
 //                             provider-owned spatial grid (re-binned, not
-//                             reallocated, between rounds).
+//                             reallocated, between rounds). The grid is
+//                             built once per begin_round() and shared by
+//                             every compute(i): it bounds the Lemma-1
+//                             gathers, and the order-k kernel underneath
+//                             pulls its per-cell candidate lists and probe
+//                             queries from a spatial index as well (a
+//                             thread-local scratch grid over the gathered
+//                             subset), so no per-node computation ever
+//                             re-sorts the whole network.
 //   LocalizedRegionProvider — Algorithm 2 hop-rings over the multi-hop
 //                             communication model, with localization noise
 //                             drawn from a per-(epoch, node) stream so the
 //                             draw sequence is independent of scheduling.
+//                             Each node's sites live in its own noisy local
+//                             frame, so a shared per-round kernel grid is
+//                             impossible by construction; the kernel's
+//                             per-thread scratch index (storage reused
+//                             across nodes on a worker) covers it instead.
 #pragma once
 
 #include <cstdint>

@@ -79,6 +79,10 @@ RegionResult compute_dominating_region(const std::vector<Vec2>& sites,
         all_sites ? geom::box_ring(bbox)
                   : disk_bbox_window(ui, rho / 2.0, bbox,
                                      cfg.disk_ngon_sides);
+    // The kernel re-indexes the gathered subset internally (thread-local
+    // scratch grid above a small site count) — `grid` bounds the gather, the
+    // kernel bounds the per-cell candidate lists. Results are bit-identical
+    // to the exhaustive kernel either way.
     auto cells = dominating_region_cells(lpos, li, k, window);
 
     const bool fits =

@@ -20,11 +20,29 @@
 // not u_i must contain the whole ray beyond w), so the count of closer
 // sites is monotone along rays from u_i. This is property-tested in
 // tests/test_orderk.cpp.
+// Kernel acceleration (this file's second half): every entry point exists in
+// two equivalent implementations. The *brute* path sorts all n out-sites per
+// BFS cell and probes edges with k_nearest_brute — the straightforward
+// transcription of the construction above, kept as the reference. The *grid*
+// path routes every point-location and probe query through a
+// wsn::SpatialGrid and clips each cell against a distance-bounded candidate
+// list gathered from the grid in expanding rings: once the gather radius R
+// satisfies R >= 2 rv + dmax (rv = current max vertex distance of the cell
+// from the reference generator, dmax = generator spread), any site beyond R
+// fails the same pruning bound the brute loop breaks on, so the two paths
+// clip the same sites in the same order and produce bit-identical cells
+// (asserted against each other in Debug builds; if every site is gathered
+// before the bound closes, the gather has degenerated to the exhaustive
+// list, counted as a kernel_fallback). The default entry points pick the
+// grid path automatically above a small site count, reusing a thread-local
+// scratch grid, so all callers — the adaptive Lemma-1 solver, the localized
+// Algorithm-2 solver, tests, benches — share one accelerated kernel.
 #pragma once
 
 #include <vector>
 
 #include "geometry/polygon.hpp"
+#include "wsn/spatial_grid.hpp"
 
 namespace laacad::vor {
 
@@ -47,14 +65,40 @@ geom::Ring order_k_cell(const std::vector<geom::Vec2>& sites,
 
 /// All cells forming the dominating region of site i at order k, clipped to
 /// `window`. `sites` must be degeneracy-free (see separate_sites). The
-/// window must be convex and should contain u_i.
+/// window must be convex and should contain u_i. Uses the grid-accelerated
+/// kernel (over a thread-local scratch grid) when the site count warrants
+/// it; output is bit-identical to dominating_region_cells_brute either way.
 std::vector<OrderKCell> dominating_region_cells(
+    const std::vector<geom::Vec2>& sites, int i, int k,
+    const geom::Ring& window);
+
+/// Same, against a caller-owned spatial index over exactly `sites` (same
+/// order): lets per-round owners (RegionProvider backends, benches) amortize
+/// the grid build across many queries.
+std::vector<OrderKCell> dominating_region_cells(
+    const std::vector<geom::Vec2>& sites, const wsn::SpatialGrid& grid, int i,
+    int k, const geom::Ring& window);
+
+/// Exhaustive reference kernel (full per-cell candidate sort, brute-force
+/// probes). Kept for cross-validation in tests and as the micro-bench
+/// baseline the grid kernel's dist2-eval reduction is measured against.
+std::vector<OrderKCell> dominating_region_cells_brute(
     const std::vector<geom::Vec2>& sites, int i, int k,
     const geom::Ring& window);
 
 /// Every nonempty order-k cell within the window (full-diagram enumeration;
 /// used for diagram statistics, Fig. 1, and cross-validation in tests).
+/// Same auto grid acceleration as dominating_region_cells.
 std::vector<OrderKCell> enumerate_order_k_cells(
+    const std::vector<geom::Vec2>& sites, int k, const geom::Ring& window);
+
+/// Enumeration against a caller-owned index over `sites`.
+std::vector<OrderKCell> enumerate_order_k_cells(
+    const std::vector<geom::Vec2>& sites, const wsn::SpatialGrid& grid, int k,
+    const geom::Ring& window);
+
+/// Exhaustive reference enumeration.
+std::vector<OrderKCell> enumerate_order_k_cells_brute(
     const std::vector<geom::Vec2>& sites, int k, const geom::Ring& window);
 
 /// Classic order-1 Voronoi cell of site i (dominating region at k = 1 is a

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/perf_counters.hpp"
 
 namespace laacad::vor {
 
@@ -34,15 +37,20 @@ std::vector<Vec2> separate_sites(std::vector<Vec2> positions, double min_sep) {
 
 std::vector<int> k_nearest_brute(const std::vector<Vec2>& sites, Vec2 q,
                                  int k) {
-  std::vector<int> idx(sites.size());
-  for (std::size_t i = 0; i < sites.size(); ++i) idx[i] = static_cast<int>(i);
+  // (dist2, index) keys: dist2 computed once per site instead of once per
+  // sort comparison, and ties resolve by ascending index — the same
+  // canonical order wsn::SpatialGrid::k_nearest produces, so grid and brute
+  // answers agree exactly (property-tested in tests/test_wsn.cpp).
+  std::vector<std::pair<double, int>> keyed;
+  keyed.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    keyed.emplace_back(geom::dist2(sites[i], q), static_cast<int>(i));
+  perf::counters().dist2_evals += keyed.size();
   const int kk = std::min<int>(k, static_cast<int>(sites.size()));
-  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
-                    [&](int a, int b) {
-                      return geom::dist2(sites[static_cast<size_t>(a)], q) <
-                             geom::dist2(sites[static_cast<size_t>(b)], q);
-                    });
-  idx.resize(static_cast<std::size_t>(kk));
+  std::partial_sort(keyed.begin(), keyed.begin() + kk, keyed.end());
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(kk));
+  for (int i = 0; i < kk; ++i) idx.push_back(keyed[static_cast<std::size_t>(i)].second);
   return idx;
 }
 

@@ -3,6 +3,7 @@
 // "load balancing" in LAACAD's name.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "wsn/network.hpp"
@@ -19,7 +20,10 @@ struct LoadReport {
   double max_load = 0.0;
   double min_load = 0.0;
   double total_load = 0.0;
-  double fairness = 1.0;  ///< Jain's index over loads.
+  /// Jain's index over loads. NaN (JSON null) for a network with no nodes,
+  /// matching jain_fairness's empty-input convention — never a fabricated
+  /// "perfectly fair" 1.0 for a report over nothing.
+  double fairness = std::numeric_limits<double>::quiet_NaN();
 };
 
 LoadReport load_report(const Network& net);

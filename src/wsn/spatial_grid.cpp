@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <utility>
+
+#include "common/perf_counters.hpp"
 
 namespace laacad::wsn {
 
@@ -45,62 +47,94 @@ std::pair<int, int> SpatialGrid::cell_of(Vec2 p) const {
 
 int SpatialGrid::cell_index(int cx, int cy) const { return cy * nx_ + cx; }
 
-std::vector<int> SpatialGrid::within(Vec2 q, double radius) const {
-  std::vector<int> out;
-  if (points_.empty() || radius < 0.0) return out;
+void SpatialGrid::gather(Vec2 q, double radius, int exclude,
+                         std::vector<std::pair<double, int>>& out) const {
+  out.clear();
+  if (points_.empty() || radius < 0.0) return;
   const int r_cells = static_cast<int>(std::ceil(radius / cell_)) + 1;
   auto [cx, cy] = cell_of(q);
   const double r2 = radius * radius;
-  for (int dy = -r_cells; dy <= r_cells; ++dy) {
-    const int y = cy + dy;
-    if (y < 0 || y >= ny_) continue;
-    for (int dx = -r_cells; dx <= r_cells; ++dx) {
-      const int x = cx + dx;
-      if (x < 0 || x >= nx_) continue;
+  std::uint64_t checked = 0;
+  // Clamp the scan window up front: for far-outside queries r_cells can be
+  // orders of magnitude larger than the grid itself.
+  const int y_lo = std::max(0, cy - r_cells), y_hi = std::min(ny_ - 1, cy + r_cells);
+  const int x_lo = std::max(0, cx - r_cells), x_hi = std::min(nx_ - 1, cx + r_cells);
+  for (int y = y_lo; y <= y_hi; ++y) {
+    for (int x = x_lo; x <= x_hi; ++x) {
       for (int idx : buckets_[cell_index(x, y)]) {
+        if (idx == exclude) continue;
+        ++checked;
+        const double d2 = geom::dist2(points_[idx], q);
+        if (d2 <= r2) out.emplace_back(d2, idx);
+      }
+    }
+  }
+  perf::counters().dist2_evals += checked;
+}
+
+std::vector<int> SpatialGrid::within(Vec2 q, double radius) const {
+  // Index-only twin of gather(): the coverage checker and comm model call
+  // this per sample point / per node and never use the distances, so don't
+  // stage (dist2, index) pairs they would immediately discard.
+  std::vector<int> out;
+  if (points_.empty() || radius < 0.0) return out;
+  auto& pc = perf::counters();
+  ++pc.grid_queries;
+  const int r_cells = static_cast<int>(std::ceil(radius / cell_)) + 1;
+  auto [cx, cy] = cell_of(q);
+  const double r2 = radius * radius;
+  const int y_lo = std::max(0, cy - r_cells), y_hi = std::min(ny_ - 1, cy + r_cells);
+  const int x_lo = std::max(0, cx - r_cells), x_hi = std::min(nx_ - 1, cx + r_cells);
+  std::uint64_t checked = 0;
+  for (int y = y_lo; y <= y_hi; ++y) {
+    for (int x = x_lo; x <= x_hi; ++x) {
+      for (int idx : buckets_[cell_index(x, y)]) {
+        ++checked;
         if (geom::dist2(points_[idx], q) <= r2) out.push_back(idx);
       }
     }
   }
+  pc.dist2_evals += checked;
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void SpatialGrid::collect_within(Vec2 q, double radius,
+                                 std::vector<std::pair<double, int>>& out) const {
+  ++perf::counters().grid_queries;
+  gather(q, radius, /*exclude=*/-1, out);
+  // Pairs sort lexicographically: ascending dist2, ties by ascending index.
+  std::sort(out.begin(), out.end());
 }
 
 std::vector<int> SpatialGrid::k_nearest(Vec2 q, int k, int exclude) const {
   std::vector<int> out;
   if (points_.empty() || k <= 0) return out;
-  // Expanding-radius search; falls back to all points when the grid is
-  // sparse. Simple and adequate for simulation sizes (N <= a few thousand).
+  ++perf::counters().grid_queries;
+  // Expanding-radius search. `cover` provably reaches every point from q
+  // wherever q lies — also outside the points' bounding box, where the old
+  // grid-diagonal cap could stop the expansion while points were still
+  // beyond the last gathered radius.
+  const Vec2 hi{origin_.x + nx_ * cell_, origin_.y + ny_ * cell_};
+  const double span_x = std::max(std::abs(q.x - origin_.x), std::abs(hi.x - q.x));
+  const double span_y = std::max(std::abs(q.y - origin_.y), std::abs(hi.y - q.y));
+  const double cover = std::hypot(span_x, span_y) + cell_;
   double radius = cell_;
-  const double max_radius =
-      std::hypot(static_cast<double>(nx_), static_cast<double>(ny_)) * cell_ +
-      cell_;
-  std::vector<int> cand;
+  std::vector<std::pair<double, int>> cand;
   while (true) {
-    cand = within(q, radius);
-    if (exclude >= 0)
-      std::erase(cand, exclude);
-    if (static_cast<int>(cand.size()) >= k || radius > max_radius) break;
-    radius *= 2.0;
+    gather(q, radius, exclude, cand);
+    if (static_cast<int>(cand.size()) >= k || radius >= cover) break;
+    radius = std::min(radius * 2.0, cover);
   }
-  std::sort(cand.begin(), cand.end(), [&](int a, int b) {
-    return geom::dist2(points_[a], q) < geom::dist2(points_[b], q);
-  });
-  // The radius-limited candidate set is correct only up to `radius`; the
-  // k-th candidate must lie strictly inside, otherwise expand once more.
-  while (static_cast<int>(cand.size()) >= k &&
-         geom::dist(points_[cand[static_cast<std::size_t>(k) - 1]], q) >
-             radius &&
-         radius <= max_radius) {
-    radius *= 2.0;
-    cand = within(q, radius);
-    if (exclude >= 0) std::erase(cand, exclude);
-    std::sort(cand.begin(), cand.end(), [&](int a, int b) {
-      return geom::dist2(points_[a], q) < geom::dist2(points_[b], q);
-    });
-  }
+  // Every gathered candidate lies within `radius` and every missing point
+  // lies beyond it, so once k candidates exist the k nearest are among
+  // them — no re-verification pass. One sort per query, by (dist2, index):
+  // the same canonical order (and tie-break) as vor::k_nearest_brute.
+  std::sort(cand.begin(), cand.end());
   if (static_cast<int>(cand.size()) > k) cand.resize(static_cast<std::size_t>(k));
-  return cand;
+  out.reserve(cand.size());
+  for (const auto& [d2, idx] : cand) out.push_back(idx);
+  return out;
 }
 
 }  // namespace laacad::wsn

@@ -3,6 +3,7 @@
 // simulates. Used by the Voronoi solvers and the communication model.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "geometry/polygon.hpp"
@@ -28,18 +29,32 @@ class SpatialGrid {
   void rebuild(const std::vector<geom::Vec2>& points, double cell_size);
 
   /// Indices of points with dist(p, q) <= radius (including any point equal
-  /// to q itself).
+  /// to q itself), sorted ascending by index.
   std::vector<int> within(geom::Vec2 q, double radius) const;
 
-  /// Indices of the k nearest points to q, sorted by distance ascending.
+  /// Appends (dist2(p, q), index) for every point within `radius` of q into
+  /// `out` (cleared first), sorted by (dist2, index) — the canonical
+  /// nearest-first order shared with k_nearest(). Lets callers that need a
+  /// distance-ordered candidate list (the order-k Voronoi kernel) reuse one
+  /// scratch buffer and one sort instead of re-deriving distances.
+  void collect_within(geom::Vec2 q, double radius,
+                      std::vector<std::pair<double, int>>& out) const;
+
+  /// Indices of the k nearest points to q, sorted by distance ascending
+  /// (ties broken by ascending index, matching vor::k_nearest_brute exactly).
   /// `exclude` (if >= 0) is skipped — used for "k nearest other nodes".
+  /// Correct for any q, including query points outside the points' bounding
+  /// box (the Voronoi kernel probes just outside cell edges).
   std::vector<int> k_nearest(geom::Vec2 q, int k, int exclude = -1) const;
 
   std::size_t size() const { return points_.size(); }
+  double cell_size() const { return cell_; }
 
  private:
   std::pair<int, int> cell_of(geom::Vec2 p) const;
   int cell_index(int cx, int cy) const;
+  void gather(geom::Vec2 q, double radius, int exclude,
+              std::vector<std::pair<double, int>>& out) const;
 
   std::vector<geom::Vec2> points_;
   double cell_ = 1.0;

@@ -71,7 +71,27 @@ TEST(Ci95HalfWidth, Convention) {
 TEST(JainFairness, Extremes) {
   EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
   EXPECT_NEAR(jain_fairness({1, 0, 0, 0}), 0.25, 1e-12);
-  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  // Empty input is NaN (JSON null) like mean()/percentile() — a group with
+  // no members has no fairness, not a perfect one. All-zero (non-empty)
+  // loads remain degenerate-but-fair.
+  EXPECT_TRUE(std::isnan(jain_fairness({})));
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0, 0}), 1.0);
+}
+
+TEST(Summary, VarianceStableAtLargeMagnitude) {
+  // mean ~1e9, stddev ~1: the old sumsq - mean^2 formulation cancels to
+  // noise here (sumsq ~1e18 eats the O(1) variance entirely); Welford
+  // accumulation keeps full precision.
+  const double base = 1.0e9;
+  Summary s = summarize({base - 1.0, base, base + 1.0});
+  EXPECT_DOUBLE_EQ(s.mean(), base);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+
+  // Same spread, even larger offset: still exact to double precision.
+  const double big = 4.0e12;
+  Summary t = summarize({big - 2.0, big + 2.0});
+  EXPECT_NEAR(t.variance(), 4.0, 1e-6);
 }
 
 TEST(Rng, DeterministicWithSeed) {

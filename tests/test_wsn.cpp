@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/stats.hpp"
+#include "voronoi/sites.hpp"
 #include "wsn/boundary.hpp"
 #include "wsn/comm.hpp"
 #include "wsn/deployment.hpp"
@@ -47,18 +48,60 @@ TEST(SpatialGrid, KNearestMatchesBruteForce) {
   for (int trial = 0; trial < 20; ++trial) {
     const Vec2 q{rng.uniform(0, 100), rng.uniform(0, 100)};
     const int k = rng.uniform_int(1, 12);
-    auto got = grid.k_nearest(q, k);
-    ASSERT_EQ(static_cast<int>(got.size()), k);
-    std::vector<int> idx(200);
-    for (int i = 0; i < 200; ++i) idx[static_cast<size_t>(i)] = i;
-    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
-      return geom::dist2(pts[static_cast<size_t>(a)], q) <
-             geom::dist2(pts[static_cast<size_t>(b)], q);
-    });
-    // Same distances (ties may reorder indices).
-    for (int i = 0; i < k; ++i) {
-      EXPECT_NEAR(geom::dist(pts[static_cast<size_t>(got[static_cast<size_t>(i)])], q),
-                  geom::dist(pts[static_cast<size_t>(idx[static_cast<size_t>(i)])], q), 1e-9);
+    // Exact agreement (indices, not just distances): grid and brute share
+    // the canonical (dist2, index) order.
+    EXPECT_EQ(grid.k_nearest(q, k), vor::k_nearest_brute(pts, q, k));
+  }
+}
+
+// Property test: the grid's expanding-radius k_nearest must agree exactly
+// with vor::k_nearest_brute over randomized site sets — including the
+// `exclude` path and query points far outside the points' bounding box
+// (where the pre-fix search could stop at its radius cap with points still
+// ungathered, returning a short or wrong answer).
+TEST(SpatialGrid, KNearestAgreesWithBruteProperty) {
+  Rng rng(29);
+  for (int round = 0; round < 8; ++round) {
+    const int n = 20 + rng.uniform_int(0, 180);
+    std::vector<Vec2> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    if (round % 2 == 0) {
+      for (int i = 0; i < n; ++i)
+        pts.push_back({rng.uniform(0, 200), rng.uniform(0, 200)});
+    } else {
+      // Clustered: stresses the radius doubling (dense cells, empty bands).
+      const int clusters = 3 + rng.uniform_int(0, 3);
+      for (int i = 0; i < n; ++i) {
+        const double cx = 200.0 * (1 + i % clusters) / (clusters + 1);
+        pts.push_back({cx + rng.gaussian(0, 2.0),
+                       100.0 + rng.gaussian(0, 2.0)});
+      }
+    }
+    SpatialGrid grid(pts, rng.uniform(2.0, 25.0));
+    for (int trial = 0; trial < 40; ++trial) {
+      Vec2 q{rng.uniform(0, 200), rng.uniform(0, 200)};
+      if (trial % 4 == 0) {  // far outside the bounding box
+        q = {rng.uniform(-3000, 5000), rng.uniform(2000, 9000)};
+      }
+      const int k = rng.uniform_int(1, std::min(n, 15));
+      const int exclude = (trial % 3 == 0) ? rng.uniform_int(0, n - 1) : -1;
+
+      auto brute = [&] {
+        std::vector<Vec2> kept;
+        std::vector<int> back;
+        for (int i = 0; i < n; ++i) {
+          if (i == exclude) continue;
+          kept.push_back(pts[static_cast<std::size_t>(i)]);
+          back.push_back(i);
+        }
+        auto local = vor::k_nearest_brute(kept, q, k);
+        std::vector<int> global;
+        for (int id : local) global.push_back(back[static_cast<std::size_t>(id)]);
+        return global;
+      }();
+      EXPECT_EQ(grid.k_nearest(q, k, exclude), brute)
+          << "round=" << round << " trial=" << trial << " k=" << k
+          << " exclude=" << exclude << " q=(" << q.x << "," << q.y << ")";
     }
   }
 }
@@ -492,7 +535,9 @@ TEST(Energy, LoadReportEmptyNetworkIsDefault) {
   Network net(&d, {}, 10.0);
   LoadReport rep = load_report(net);
   EXPECT_EQ(rep.total_load, 0.0);
-  EXPECT_EQ(rep.fairness, 1.0);
+  // No nodes -> no fairness: NaN (JSON null), the shared empty-aggregate
+  // convention, not a fabricated 1.0.
+  EXPECT_TRUE(std::isnan(rep.fairness));
 }
 
 }  // namespace
