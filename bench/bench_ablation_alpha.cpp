@@ -24,6 +24,7 @@ void experiment() {
     cfg.alpha = alpha;
     cfg.epsilon = 0.5;
     cfg.max_rounds = 500;
+    cfg.retain_history = true;  // travel summed from the round record
     core::Engine engine(net, cfg);
     const auto result = engine.run();
     double travel = 0.0;

@@ -23,6 +23,7 @@ void experiment() {
 
   auto run_one = [&](const std::string& label, core::LaacadConfig cfg) {
     wsn::Network net(&domain, initial, 120.0);
+    cfg.retain_history = true;  // message accounting summed from the record
     core::Engine engine(net, cfg);
     const auto result = engine.run();
     const auto exact =

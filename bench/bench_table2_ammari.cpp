@@ -8,35 +8,65 @@
 // Paper's shape: R*_k grows ~ sqrt(k), so N*_k is nearly flat (~318-323 in
 // the paper) and much larger than the 180 nodes LAACAD uses — LAACAD
 // k-covers the same area with ~44% fewer nodes.
-#include "bench_common.hpp"
+//
+// The k sweep runs through the campaign engine (the same spec ships as
+// campaigns/table2_ammari.cmp). Per-trial seeds are campaign-derived, so
+// deployments differ from the old hand-rolled derived_seed(700, k) loop —
+// the table is a shape reproduction, robust to the seed stream.
+#include <cmath>
+#include <fstream>
+
 #include "baselines/ammari.hpp"
-#include "laacad/engine.hpp"
-#include "wsn/deployment.hpp"
+#include "bench_common.hpp"
+#include "campaign/scheduler.hpp"
 
 namespace {
 
 using namespace laacad;
 
+constexpr const char* kCampaignSpec = R"(
+name      table2_ammari
+trials    1
+seed      700
+domain    square
+side      1000
+deploy    uniform
+nodes     180
+epsilon   1.0
+max_rounds 250
+gamma     200
+grid_resolution 20
+sweep k 3 4 5 6 7 8
+)";
+
 void experiment() {
-  wsn::Domain domain = wsn::Domain::square_km();
+  campaign::CampaignOptions opt;
+  opt.workers = benchutil::num_threads();
+  campaign::CampaignScheduler scheduler(
+      campaign::parse_campaign_string(kCampaignSpec), std::move(opt));
+  const campaign::CampaignResult result = scheduler.run();
+
+  const double area = 1000.0 * 1000.0;
   const int n = 180;
   TextTable table({"k", "R*_k (m)", "N*_k (Ammari-Das)", "N*_k / N",
                    "R*_k / sqrt(k)"});
-  for (int k = 3; k <= 8; ++k) {
-    Rng rng(benchutil::derived_seed(700, k));
-    wsn::Network net(&domain, wsn::deploy_uniform(domain, n, rng), 200.0);
-    core::LaacadConfig cfg;
-    cfg.k = k;
-    cfg.epsilon = 1.0;
-    cfg.max_rounds = 250;
-    core::Engine engine(net, cfg);
-    const auto result = engine.run();
-    const double rstar = result.final_max_range;
-    const double nstar = base::ammari_min_nodes(domain.area(), rstar, k);
-    table.add_row({std::to_string(k), TextTable::num(rstar, 2),
+  for (const auto& trial : result.trials) {
+    const campaign::TrialPoint& pt =
+        result.points[static_cast<std::size_t>(trial.trial)];
+    if (!trial.ok) {
+      benchutil::TableSink::instance().note(
+          "table2 campaign trial k=" + benchutil::axis_value(pt, "k") +
+          " FAILED: " +
+          (trial.error.empty() ? "coverage not verified" : trial.error));
+      continue;
+    }
+    const double kk = std::stod(benchutil::axis_value(pt, "k"));
+    const double rstar = trial.metrics[campaign::metric_index("max_range")];
+    const double nstar = base::ammari_min_nodes(area, rstar, static_cast<int>(kk));
+    table.add_row({benchutil::axis_value(pt, "k"), TextTable::num(rstar, 2),
                    std::to_string(static_cast<long long>(std::lround(nstar))),
                    TextTable::num(nstar / n, 2),
-                   TextTable::num(rstar / std::sqrt(double(k)), 2)});
+                   TextTable::num(rstar / std::sqrt(kk), 2)});
   }
   benchutil::TableSink::instance().add(
       "Table II — nodes the Ammari-Das [15] scheme needs at LAACAD's R*_k "
@@ -46,6 +76,11 @@ void experiment() {
       "Paper's values (at their scale): R*_k = 8.77..14.32, N*_k ~ 313-323, "
       "flat in k. Shape to match: N*_k ~ constant ~1.75x the 180 LAACAD "
       "nodes, and R*_k/sqrt(k) ~ constant.");
+
+  std::ofstream json("BENCH_campaign_table2_ammari.json");
+  if (json) result.write_json(json);
+  benchutil::TableSink::instance().note(
+      "campaign aggregates: BENCH_campaign_table2_ammari.json");
 }
 
 }  // namespace

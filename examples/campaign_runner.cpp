@@ -2,9 +2,9 @@
 // trial matrix, shard it across workers, and emit aggregate metrics.
 //
 // Usage:
-//   campaign_runner <campaign-file> [--workers N] [--resume] [--json PATH]
-//                   [--csv PATH] [--manifest PATH] [--shard i/N]
-//                   [--dry-run] [--quiet]
+//   campaign_runner <campaign-file> [--workers N] [--trial-threads N]
+//                   [--resume] [--json PATH] [--csv PATH] [--manifest PATH]
+//                   [--shard i/N] [--dry-run] [--quiet]
 //
 // The campaign format is documented in src/campaign/spec.hpp and the
 // README; shipped examples live in campaigns/. Outputs (defaults derive
@@ -29,6 +29,7 @@
 #include <string>
 
 #include "campaign/scheduler.hpp"
+#include "common/sysinfo.hpp"
 #include "common/table.hpp"
 #include "dist/partition.hpp"
 
@@ -36,11 +37,13 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <campaign-file> [--workers N] [--resume] [--json PATH]\n"
-      "          [--csv PATH] [--manifest PATH] [--shard i/N] [--dry-run]\n"
-      "          [--quiet]\n"
+      "usage: %s <campaign-file> [--workers N] [--trial-threads N]\n"
+      "          [--resume] [--json PATH] [--csv PATH] [--manifest PATH]\n"
+      "          [--shard i/N] [--dry-run] [--quiet]\n"
       "  --workers N   trial-level parallelism (0 = hardware); outputs are\n"
       "                byte-identical for every value\n"
+      "  --trial-threads N  engine threads inside each trial (0 = hardware);\n"
+      "                requires --workers 1; outputs stay byte-identical\n"
       "  --resume      skip trials already journaled in the manifest\n"
       "  --json PATH   aggregate output (default BENCH_campaign_<name>.json)\n"
       "  --csv PATH    trial log (default BENCH_campaign_<name>_trials.csv)\n"
@@ -89,6 +92,16 @@ int main(int argc, char** argv) {
       opt.workers = static_cast<int>(std::strtol(v, &end, 10));
       if (end == v || *end != '\0' || opt.workers < 0) {
         std::fprintf(stderr, "--workers expects a non-negative integer\n");
+        return 2;
+      }
+    }
+    else if (flag == "--trial-threads") {
+      const char* v = next_value("--trial-threads");
+      char* end = nullptr;
+      opt.trial_threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || opt.trial_threads < 0) {
+        std::fprintf(stderr,
+                     "--trial-threads expects a non-negative integer\n");
         return 2;
       }
     }
@@ -189,6 +202,9 @@ int main(int argc, char** argv) {
           dist::to_string(result.shard).c_str(), name.c_str(),
           result.executed, result.recovered, manifest_path.c_str(),
           result.shard.count);
+      std::printf("peak RSS: %.1f MiB\n",
+                  static_cast<double>(common::peak_rss_bytes()) /
+                      (1024.0 * 1024.0));
     }
     return result.all_ok() ? 0 : 1;
   }
@@ -226,6 +242,11 @@ int main(int argc, char** argv) {
         result.spec.name.c_str(), result.trials.size(), result.executed,
         result.recovered, result.groups.size(),
         result.all_ok() ? "all ok" : "FAILURES");
+    // Stdout only: RSS is machine- and run-dependent, so it must never
+    // enter the byte-identical JSON/CSV/manifest artifacts.
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(common::peak_rss_bytes()) /
+                    (1024.0 * 1024.0));
     std::printf("aggregates: %s\ntrial log: %s\n", json_path.c_str(),
                 csv_path.c_str());
   }

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     cfg.k = k;
     cfg.epsilon = 1.0;
     cfg.max_rounds = 300;
+    cfg.retain_history = true;  // per-round table printed below
     core::Engine engine(net, cfg);
     const core::RunResult result = engine.run();
     for (const core::RoundMetrics& m : result.history) {

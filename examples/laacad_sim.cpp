@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
   cfg.max_rounds = opt.rounds;
   cfg.seed = opt.seed;
   cfg.num_threads = opt.threads;
+  cfg.retain_history = true;  // the CSV dump below walks every round
   if (opt.backend == "localized") {
     cfg.localized.max_hops = opt.max_hops;
     cfg.localized.frame.range_noise = opt.noise;

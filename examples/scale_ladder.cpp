@@ -1,0 +1,293 @@
+// scale_ladder — wall-clock / memory ladder for the million-node regime.
+//
+// Runs the campaigns/scale_ladder.cmp rungs (10^3 -> 10^6 uniform nodes,
+// k = 2, backend auto) one at a time in ascending size and measures, per
+// rung: wall-clock (total and per round), peak RSS
+// (common::peak_rss_bytes), and the deterministic kernel counters
+// (dist2 evaluations, grid queries) that machine-independent perf gates
+// key on. Results land in BENCH_scale_ladder.json.
+//
+// Usage:
+//   scale_ladder [--campaign PATH] [--max-nodes N] [--budget PATH]
+//                [--json PATH] [--trial-threads N] [--quiet]
+//
+// --max-nodes caps which rungs run: ctest climbs to 10^5, the CI bench
+// job runs the full ladder. --budget loads campaigns/scale_ladder.budget;
+// dist2-evaluation budgets are enforced unconditionally (they are
+// deterministic and machine-independent, the same contract as the dist^2
+// regression gates), while wall-clock and RSS budgets apply only when
+// LAACAD_ENFORCE_BUDGET is set in the environment (CI runners), so
+// developer laptops never flake on a noisy neighbour. Counter budgets are
+// only checked for serial rungs (--trial-threads 1): the counters are
+// thread-local and a pooled engine accrues them on its workers.
+// Exit status 0 iff every rung ran ok and every enforced budget held.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/scheduler.hpp"
+#include "common/perf_counters.hpp"
+#include "common/sysinfo.hpp"
+
+namespace {
+
+using namespace laacad;
+
+// Mirror of campaigns/scale_ladder.cmp so the binary is self-contained
+// (ctest runs it from the build tree); --campaign swaps in a file.
+constexpr const char* kLadderSpec = R"(
+name      scale_ladder
+trials    1
+seed      900
+domain    square
+side      1000
+deploy    uniform
+k         2
+backend   auto
+epsilon   5.0
+max_rounds 3
+gamma     0
+grid_resolution 25
+sweep nodes 1000 10000 100000 1000000
+)";
+
+struct RungBudget {
+  long long nodes = 0;
+  double dist2_per_node = 0.0;  ///< dist2_evals / nodes cap; 0 = no cap
+  double wall_ms = 0.0;         ///< total wall cap; 0 = no cap
+  double rss_mib = 0.0;         ///< peak RSS cap; 0 = no cap
+};
+
+struct RungRow {
+  long long nodes = 0;
+  int rounds = 0;
+  bool ok = false;
+  std::string error;
+  double wall_ms = 0.0;
+  double wall_ms_per_round = 0.0;
+  std::uint64_t peak_rss = 0;
+  std::uint64_t dist2_evals = 0;
+  std::uint64_t grid_queries = 0;
+  bool counters_valid = false;  ///< serial rung, counters are complete
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--campaign PATH] [--max-nodes N] [--budget PATH]\n"
+      "          [--json PATH] [--trial-threads N] [--quiet]\n"
+      "  --campaign PATH   ladder campaign file (default: embedded\n"
+      "                    mirror of campaigns/scale_ladder.cmp)\n"
+      "  --max-nodes N     skip rungs larger than N nodes\n"
+      "  --budget PATH     budget file; dist2 budgets always enforced,\n"
+      "                    wall/RSS only with LAACAD_ENFORCE_BUDGET set\n"
+      "  --json PATH       output (default BENCH_scale_ladder.json)\n"
+      "  --trial-threads N engine threads inside each rung (0 = hardware);\n"
+      "                    output bits never change, counters go unchecked\n"
+      "                    unless serial\n",
+      argv0);
+}
+
+std::vector<RungBudget> load_budget(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open budget file: " + path);
+  std::vector<RungBudget> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream row(line);
+    RungBudget b;
+    if (!(row >> b.nodes)) continue;  // blank / comment-only line
+    if (!(row >> b.dist2_per_node >> b.wall_ms >> b.rss_mib))
+      throw std::runtime_error(path + ": line " + std::to_string(lineno) +
+                               ": expected 'nodes dist2_per_node wall_ms "
+                               "rss_mib'");
+    out.push_back(b);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<RungRow>& rows,
+                int trial_threads, bool enforce_env) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "scale_ladder: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"name\": \"scale_ladder\",\n  \"trial_threads\": "
+      << trial_threads << ",\n  \"wall_budgets_enforced\": "
+      << (enforce_env ? "true" : "false") << ",\n  \"rungs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RungRow& r = rows[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"ok\": "
+        << (r.ok ? "true" : "false") << ", \"rounds\": " << r.rounds
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"wall_ms_per_round\": " << r.wall_ms_per_round
+        << ", \"peak_rss_bytes\": " << r.peak_rss;
+    if (r.counters_valid)
+      out << ", \"dist2_evals\": " << r.dist2_evals
+          << ", \"grid_queries\": " << r.grid_queries;
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_path;
+  std::string budget_path;
+  std::string json_path = "BENCH_scale_ladder.json";
+  long long max_nodes = -1;
+  int trial_threads = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "scale_ladder: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaign") campaign_path = next();
+    else if (arg == "--max-nodes") max_nodes = std::atoll(next());
+    else if (arg == "--budget") budget_path = next();
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--trial-threads") trial_threads = std::atoi(next());
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "scale_ladder: unknown argument " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    const campaign::CampaignSpec spec =
+        campaign_path.empty()
+            ? campaign::parse_campaign_string(kLadderSpec)
+            : campaign::load_campaign_file(campaign_path);
+    const campaign::Axis* nodes_axis = nullptr;
+    for (const campaign::Axis& ax : spec.axes)
+      if (ax.key == "nodes") nodes_axis = &ax;
+    if (!nodes_axis || spec.axes.size() != 1)
+      throw std::runtime_error(
+          "scale ladder campaign must sweep exactly one axis: nodes");
+
+    std::vector<RungBudget> budgets;
+    if (!budget_path.empty()) budgets = load_budget(budget_path);
+    const bool enforce_env = std::getenv("LAACAD_ENFORCE_BUDGET") != nullptr;
+    const bool counters_valid = trial_threads == 1;
+
+    std::vector<RungRow> rows;
+    bool all_ok = true;
+    for (const std::string& value : nodes_axis->values) {
+      const long long n = std::atoll(value.c_str());
+      if (max_nodes >= 0 && n > max_nodes) {
+        if (!quiet)
+          std::printf("rung n=%-8lld skipped (--max-nodes %lld)\n", n,
+                      max_nodes);
+        continue;
+      }
+      // One single-rung campaign per ladder step, run serially in
+      // ascending size: peak-RSS deltas between rungs stay attributable,
+      // and each rung's wall-clock is a plain bracket around run().
+      campaign::CampaignSpec rung = spec;
+      rung.axes[0].values = {value};
+      campaign::CampaignOptions opt;
+      opt.workers = 1;
+      opt.trial_threads = trial_threads;
+      perf::counters().reset();
+      const auto t0 = std::chrono::steady_clock::now();
+      campaign::CampaignScheduler scheduler(std::move(rung), std::move(opt));
+      const campaign::CampaignResult result = scheduler.run();
+      const auto t1 = std::chrono::steady_clock::now();
+
+      RungRow row;
+      row.nodes = n;
+      row.wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      row.peak_rss = common::peak_rss_bytes();
+      row.dist2_evals = perf::counters().dist2_evals;
+      row.grid_queries = perf::counters().grid_queries;
+      row.counters_valid = counters_valid;
+      const campaign::TrialResult& trial = result.trials.at(0);
+      row.ok = trial.ok;
+      row.error = trial.error;
+      const double rounds =
+          trial.metrics[campaign::metric_index("total_rounds")];
+      row.rounds = rounds == rounds ? static_cast<int>(rounds) : 0;
+      row.wall_ms_per_round =
+          row.rounds > 0 ? row.wall_ms / row.rounds : row.wall_ms;
+      if (!row.ok) {
+        all_ok = false;
+        std::cerr << "scale_ladder: rung n=" << n << " FAILED: "
+                  << (row.error.empty() ? "coverage not verified"
+                                        : row.error)
+                  << "\n";
+      } else if (!quiet) {
+        std::printf(
+            "rung n=%-8lld %2d rounds  %9.1f ms (%8.1f ms/round)  "
+            "peak RSS %7.1f MiB",
+            n, row.rounds, row.wall_ms, row.wall_ms_per_round,
+            static_cast<double>(row.peak_rss) / (1024.0 * 1024.0));
+        if (counters_valid)
+          std::printf("  dist2/node %.0f",
+                      static_cast<double>(row.dist2_evals) /
+                          static_cast<double>(n));
+        std::printf("\n");
+      }
+
+      for (const RungBudget& b : budgets) {
+        if (b.nodes != n) continue;
+        if (counters_valid && b.dist2_per_node > 0.0) {
+          const double per_node = static_cast<double>(row.dist2_evals) /
+                                  static_cast<double>(n);
+          if (per_node > b.dist2_per_node) {
+            all_ok = false;
+            std::cerr << "scale_ladder: rung n=" << n
+                      << " BLEW dist2 budget: " << per_node << " > "
+                      << b.dist2_per_node << " evals/node\n";
+          }
+        }
+        if (enforce_env && b.wall_ms > 0.0 && row.wall_ms > b.wall_ms) {
+          all_ok = false;
+          std::cerr << "scale_ladder: rung n=" << n
+                    << " BLEW wall budget: " << row.wall_ms << " > "
+                    << b.wall_ms << " ms\n";
+        }
+        const double rss_mib =
+            static_cast<double>(row.peak_rss) / (1024.0 * 1024.0);
+        if (enforce_env && b.rss_mib > 0.0 && rss_mib > b.rss_mib) {
+          all_ok = false;
+          std::cerr << "scale_ladder: rung n=" << n
+                    << " BLEW RSS budget: " << rss_mib << " > " << b.rss_mib
+                    << " MiB\n";
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+
+    write_json(json_path, rows, trial_threads, enforce_env);
+    if (!quiet) std::printf("ladder written to %s\n", json_path.c_str());
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "scale_ladder: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -235,6 +235,14 @@ CampaignScheduler::CampaignScheduler(CampaignSpec spec, CampaignOptions opt)
   if (opt_.workers < 0)
     throw std::runtime_error(
         "campaign: workers must be >= 0 (0 = hardware concurrency)");
+  if (opt_.trial_threads < 0)
+    throw std::runtime_error(
+        "campaign: trial_threads must be >= 0 (0 = hardware concurrency)");
+  if (opt_.trial_threads != 1 && opt_.workers != 1)
+    throw std::runtime_error(
+        "campaign: trial_threads requires workers == 1 — parallelism goes "
+        "either across trials (workers) or inside one (trial_threads), "
+        "never both");
   dist::validate(opt_.shard);
   points_ = expand_grid(spec_);
 }
@@ -270,17 +278,17 @@ CampaignResult CampaignScheduler::run() {
     // next pending index, so stragglers never serialize the matrix. The
     // queue order affects wall-clock only — rows land by trial index and
     // every trial's seed is a pure function of its identity.
-    common::ThreadPool pool(opt_.workers);
     std::atomic<std::size_t> next{0};
     std::mutex lock;
     int done = n_recovered;
-    pool.run(pool.size(), [&](int) {
+    const auto drain = [&](int) {
       while (true) {
         const std::size_t q = next.fetch_add(1);
         if (q >= pending.size()) break;
         const TrialPoint& pt =
             points_[static_cast<std::size_t>(pending[q])];
-        TrialResult r = run_trial(spec_, pt, opt_.keep_history, opt_.probe);
+        TrialResult r = run_trial(spec_, pt, opt_.keep_history, opt_.probe,
+                                  opt_.trial_threads);
         store.record(r);
         std::lock_guard<std::mutex> g(lock);
         results[static_cast<std::size_t>(pt.trial)] = std::move(r);
@@ -289,7 +297,16 @@ CampaignResult CampaignScheduler::run() {
           opt_.on_trial(pt, results[static_cast<std::size_t>(pt.trial)],
                         done, shard_total);
       }
-    });
+    };
+    if (opt_.trial_threads != 1) {
+      // The trial itself parallelizes (engine pool), so it must not run
+      // inside a pool chunk — pools refuse to nest. workers == 1 is
+      // already enforced for this mode; drain the queue on this thread.
+      drain(0);
+    } else {
+      common::ThreadPool pool(opt_.workers);
+      pool.run(pool.size(), drain);
+    }
   }
 
   CampaignResult out;

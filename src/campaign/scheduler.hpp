@@ -24,6 +24,14 @@ namespace laacad::campaign {
 
 struct CampaignOptions {
   int workers = 1;    ///< trial-level parallelism; 0 = hardware concurrency
+  /// Engine threads *inside* each trial (1 = serial, 0 = hardware). For
+  /// matrices of few huge trials (the scale ladder), where worker-level
+  /// fan-out has nothing to fan out. Requires workers == 1: a trial engine's
+  /// pool cannot be created from inside a campaign worker chunk (the
+  /// nested-parallelism guard), and the combination would oversubscribe
+  /// anyway. Changes no output bits — the engine is thread-count
+  /// deterministic.
+  int trial_threads = 1;
   bool resume = false;  ///< replay the manifest instead of starting over
   /// Manifest path; empty disables journaling (in-memory embedders).
   std::string manifest_path;

@@ -61,7 +61,8 @@ scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
 }
 
 TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
-                      bool keep_history, const TrialProbe& probe) {
+                      bool keep_history, const TrialProbe& probe,
+                      int trial_threads) {
   TrialResult r;
   r.trial = point.trial;
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
@@ -72,7 +73,13 @@ TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
 
   scenario::ScenarioResult result;
   try {
-    scenario::ScenarioRunner runner(resolve_trial_spec(spec, point));
+    scenario::ScenarioSpec resolved = resolve_trial_spec(spec, point);
+    // Execution details layered on after resolution: neither is a physical
+    // key, and neither changes a single output bit (engine determinism /
+    // streaming-vs-retained history).
+    resolved.num_threads = trial_threads;
+    resolved.history = keep_history;
+    scenario::ScenarioRunner runner(std::move(resolved));
     result = runner.run();
     if (probe && !result.aborted) probe(point, runner, result);
   } catch (const std::exception& e) {
@@ -92,7 +99,7 @@ TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
 
   double travel = 0.0;
   for (const scenario::PhaseRecord& p : result.phases) {
-    for (const core::RoundMetrics& m : p.history) travel += m.max_move;
+    travel += p.series.travel;
     if (keep_history)
       r.history.insert(r.history.end(), p.history.begin(), p.history.end());
   }

@@ -51,8 +51,12 @@ struct TrialResult {
 /// Build the fully resolved scenario spec for one trial: load the scenario
 /// file if any (resolved against spec.dir), apply the campaign's fixed
 /// overrides, then the point's swept values, then the derived seed.
-/// Trials always run serial (num_threads = 1) — campaign parallelism is
-/// across trials, which is what keeps results independent of worker count.
+/// Trials default to a serial engine (num_threads = 1) — campaign
+/// parallelism is normally across trials, which is what keeps results
+/// independent of worker count. CampaignOptions::trial_threads threads the
+/// engine *inside* each trial instead (scale-ladder rungs too big to win
+/// from trial-level fan-out); it requires workers == 1 and changes no
+/// output bits either way.
 scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
                                           const TrialPoint& point);
 
@@ -60,8 +64,11 @@ scenario::ScenarioSpec resolve_trial_spec(const CampaignSpec& spec,
 /// unreadable scenario file, runtime abort) returns the NaN row described
 /// above with `error` set. A non-null `probe` is invoked on success, while
 /// the runner is still alive; a probe that throws fails the trial.
+/// `trial_threads` is the engine thread count for this trial (1 = serial,
+/// 0 = hardware); see CampaignOptions::trial_threads for when that is safe.
 TrialResult run_trial(const CampaignSpec& spec, const TrialPoint& point,
                       bool keep_history = false,
-                      const TrialProbe& probe = nullptr);
+                      const TrialProbe& probe = nullptr,
+                      int trial_threads = 1);
 
 }  // namespace laacad::campaign

@@ -1,0 +1,46 @@
+#include "common/sysinfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace laacad::common {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM ("high water mark") is the kernel's own peak-RSS accounting and
+  // survives memory being returned to the allocator, unlike sampling
+  // VmRSS. Format: "VmHWM:    123456 kB".
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        found = std::sscanf(line + 6, "%llu",
+                            reinterpret_cast<unsigned long long*>(&kb)) == 1;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return kb * 1024;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    // ru_maxrss is kilobytes on Linux/BSD, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace laacad::common

@@ -1,0 +1,16 @@
+// Process-level resource introspection for benches and the scale ladder.
+#pragma once
+
+#include <cstdint>
+
+namespace laacad::common {
+
+/// Peak resident set size of this process, in bytes, or 0 when it cannot be
+/// determined. Linux reads VmHWM from /proc/self/status (kB granularity);
+/// elsewhere it falls back to getrusage(RUSAGE_SELF).ru_maxrss. The value is
+/// a high-water mark over the whole process lifetime — per-rung deltas are
+/// meaningful only when rungs run in ascending footprint order (the scale
+/// ladder does) or in separate processes.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace laacad::common

@@ -8,6 +8,16 @@ namespace laacad::core {
 
 using geom::Vec2;
 
+void RoundSeries::add(const RoundMetrics& m) {
+  ++rounds;
+  travel += m.max_move;
+  max_circumradius.add(m.max_circumradius);
+  max_move.add(m.max_move);
+  moved.add(static_cast<double>(m.moved));
+  comm.merge(m.comm);
+  last = m;
+}
+
 Engine::Engine(wsn::Network& net, LaacadConfig cfg)
     : net_(&net), cfg_(std::move(cfg)) {
   // Validate the whole config up front with messages naming the field and
@@ -34,8 +44,20 @@ Engine::Engine(wsn::Network& net, LaacadConfig cfg)
     throw std::invalid_argument(
         "LaacadConfig: num_threads must be >= 0 (0 = hardware), got " +
         std::to_string(cfg_.num_threads));
-  provider_ = cfg_.provider ? cfg_.provider
-                            : make_global_provider(cfg_.adaptive);
+  if (cfg_.provider_auto_threshold < 1)
+    throw std::invalid_argument(
+        "LaacadConfig: provider_auto_threshold must be >= 1, got " +
+        std::to_string(cfg_.provider_auto_threshold));
+  if (cfg_.provider) {
+    provider_ = cfg_.provider;
+  } else if (net.size() > cfg_.provider_auto_threshold) {
+    // Past the threshold the exact global snapshot is the wrong tool (and
+    // GlobalRegionProvider refuses outright at kMaxSites): default to the
+    // localized Algorithm 2, whose per-round cost is O(n · neighborhood).
+    provider_ = make_localized_provider(cfg_.localized, cfg_.seed);
+  } else {
+    provider_ = make_global_provider(cfg_.adaptive);
+  }
   if (cfg_.num_threads != 1)
     pool_ = std::make_unique<common::ThreadPool>(cfg_.num_threads);
 }
@@ -49,64 +71,73 @@ void Engine::begin_phase() {
   round_ = 0;  // epoch_ deliberately keeps counting across phases
 }
 
-std::vector<DominatingRegion> Engine::compute_all_regions(
-    RoundMetrics* metrics) {
-  const int n = net_->size();
-
-  // Serial snapshot phase, then the embarrassingly parallel per-node phase.
-  // Each slot of `regions`/`stats` is written by exactly one index, so the
-  // contents are independent of the chunk schedule; the metric reduction
-  // below walks them in node order. Providers that query the network's
-  // spatial index warm it during begin_round (and Network::grid() is safe
-  // under concurrent readers regardless).
-  provider_->begin_round(*net_, cfg_.k, epoch_++);
-
-  std::vector<DominatingRegion> regions(static_cast<std::size_t>(n));
-  std::vector<wsn::CommStats> stats(static_cast<std::size_t>(n));
-  common::parallel_for(pool_.get(), n, [&](int i) {
-    RegionOutput out = provider_->compute(i);
-    regions[static_cast<std::size_t>(i)] =
-        DominatingRegion(out.cells, net_->domain());
-    stats[static_cast<std::size_t>(i)] = out.comm;
-  });
-
-  if (metrics) {
-    for (int i = 0; i < n; ++i)
-      metrics->comm.merge(stats[static_cast<std::size_t>(i)]);
-  }
-  return regions;
+void Engine::snapshot_round() {
+  provider_->begin_round(*net_, cfg_.k, epoch_++, pool_.get());
 }
+
+namespace {
+
+/// What a round keeps of one node's dominating region: a few doubles, not
+/// the polygon soup. Computed on the worker that built the region so the
+/// cells can be freed immediately — this is what keeps a round's footprint
+/// O(n) instead of O(n · region complexity).
+struct NodeRound {
+  Vec2 target{};
+  double cheb_radius = 0.0;
+  double hat_radius = 0.0;
+  bool has_target = false;
+};
+
+}  // namespace
 
 RoundMetrics Engine::step() {
   RoundMetrics m;
   m.round = ++round_;
 
-  const auto regions = compute_all_regions(&m);
+  // Serial snapshot phase, then the embarrassingly parallel per-node phase.
+  // Each slot of `rounds`/`stats` is written by exactly one index, so the
+  // contents are independent of the chunk schedule; the reductions below
+  // walk them in node order, making metrics bit-identical for every thread
+  // count. Providers that query the network's spatial index warm it during
+  // begin_round (and Network::grid() is safe under concurrent readers
+  // regardless).
+  snapshot_round();
   const int n = net_->size();
+  std::vector<NodeRound> rounds(static_cast<std::size_t>(n));
+  std::vector<wsn::CommStats> stats(static_cast<std::size_t>(n));
+  common::parallel_for(pool_.get(), n, [&](int i) {
+    RegionOutput out = provider_->compute(i);
+    stats[static_cast<std::size_t>(i)] = out.comm;
+    const DominatingRegion region(out.cells, net_->domain());
+    NodeRound& r = rounds[static_cast<std::size_t>(i)];
+    if (region.empty()) return;  // no feasible region: hold position
+    const geom::Circle cheb = region.chebyshev();
+    if (!cheb.valid()) return;
+    r.target = cheb.center;
+    r.cheb_radius = cheb.radius;
+    r.hat_radius = region.max_dist_from(net_->position(i));
+    r.has_target = true;
+  });
+
+  for (int i = 0; i < n; ++i) m.comm.merge(stats[static_cast<std::size_t>(i)]);
 
   m.min_circumradius = std::numeric_limits<double>::infinity();
-  std::vector<Vec2> targets(static_cast<std::size_t>(n));
-  std::vector<bool> has_target(static_cast<std::size_t>(n), false);
   for (int i = 0; i < n; ++i) {
-    const DominatingRegion& region = regions[static_cast<std::size_t>(i)];
-    if (region.empty()) continue;  // no feasible region: hold position
-    const geom::Circle cheb = region.chebyshev();
-    if (!cheb.valid()) continue;
-    targets[static_cast<std::size_t>(i)] = cheb.center;
-    has_target[static_cast<std::size_t>(i)] = true;
-    m.max_circumradius = std::max(m.max_circumradius, cheb.radius);
-    m.min_circumradius = std::min(m.min_circumradius, cheb.radius);
-    m.max_hat_radius =
-        std::max(m.max_hat_radius, region.max_dist_from(net_->position(i)));
+    const NodeRound& r = rounds[static_cast<std::size_t>(i)];
+    if (!r.has_target) continue;
+    m.max_circumradius = std::max(m.max_circumradius, r.cheb_radius);
+    m.min_circumradius = std::min(m.min_circumradius, r.cheb_radius);
+    m.max_hat_radius = std::max(m.max_hat_radius, r.hat_radius);
   }
   if (m.min_circumradius == std::numeric_limits<double>::infinity())
     m.min_circumradius = 0.0;
 
   // Synchronized position update (Algorithm 1 lines 4-6).
   for (int i = 0; i < n; ++i) {
-    if (!has_target[static_cast<std::size_t>(i)]) continue;
+    const NodeRound& r = rounds[static_cast<std::size_t>(i)];
+    if (!r.has_target) continue;
     const Vec2 ui = net_->position(i);
-    const Vec2 ci = targets[static_cast<std::size_t>(i)];
+    const Vec2 ci = r.target;
     const double d = geom::dist(ui, ci);
     if (d <= cfg_.epsilon) continue;
     net_->set_position(i, ui + (ci - ui) * cfg_.alpha);
@@ -125,7 +156,8 @@ RunResult Engine::run() {
   while (round_ < cfg_.max_rounds) {
     RoundMetrics m = step();
     const bool done = (m.moved == 0);
-    result.history.push_back(std::move(m));
+    result.series.add(m);
+    if (cfg_.retain_history) result.history.push_back(std::move(m));
     if (done) {
       result.converged = true;
       break;
@@ -135,9 +167,9 @@ RunResult Engine::run() {
   finalize();
 
   double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
-  for (const wsn::Node& node : net_->nodes()) {
-    rmax = std::max(rmax, node.sensing_range);
-    rmin = std::min(rmin, node.sensing_range);
+  for (const double r : net_->sensing_ranges()) {
+    rmax = std::max(rmax, r);
+    rmin = std::min(rmin, r);
   }
   result.final_max_range = rmax;
   result.final_min_range =
@@ -147,18 +179,27 @@ RunResult Engine::run() {
 }
 
 void Engine::finalize() {
-  const auto regions = compute_all_regions(nullptr);
-  for (int i = 0; i < net_->size(); ++i) {
-    const DominatingRegion& region = regions[static_cast<std::size_t>(i)];
-    const double r =
-        region.empty() ? 0.0 : region.max_dist_from(net_->position(i));
-    net_->set_sensing_range(i, r);
-  }
+  snapshot_round();
+  const int n = net_->size();
+  // Same reduce-on-the-worker shape as step(): regions are distilled to one
+  // double each and discarded; the serial pass only writes the ranges back.
+  std::vector<double> ranges(static_cast<std::size_t>(n), 0.0);
+  common::parallel_for(pool_.get(), n, [&](int i) {
+    RegionOutput out = provider_->compute(i);
+    const DominatingRegion region(out.cells, net_->domain());
+    if (!region.empty())
+      ranges[static_cast<std::size_t>(i)] =
+          region.max_dist_from(net_->position(i));
+  });
+  for (int i = 0; i < n; ++i)
+    net_->set_sensing_range(i, ranges[static_cast<std::size_t>(i)]);
 }
 
 DominatingRegion Engine::region_of(wsn::NodeId i) {
-  auto regions = compute_all_regions(nullptr);
-  return regions[static_cast<std::size_t>(i)];
+  // One snapshot, one node — not the full-network pass this used to be.
+  snapshot_round();
+  RegionOutput out = provider_->compute(i);
+  return DominatingRegion(out.cells, net_->domain());
 }
 
 }  // namespace laacad::core

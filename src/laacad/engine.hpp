@@ -13,12 +13,19 @@
 // them literally in parallel), so the engine fans them across a
 // common::ThreadPool and reduces the results in fixed node order. Round
 // metrics and trajectories are bit-identical for every num_threads value.
+//
+// Memory is O(n), independent of round count and of region complexity: each
+// per-node region is reduced to a few doubles (target, radii) on the worker
+// that computed it and the polygon soup discarded, and per-round metrics
+// stream into constant-size accumulators (RunResult::series). The full
+// RoundMetrics history is opt-in via LaacadConfig::retain_history.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "laacad/localized.hpp"
 #include "laacad/region.hpp"
@@ -39,10 +46,21 @@ struct LaacadConfig {
   /// 0 = hardware concurrency, N = exactly N. Results are identical for
   /// every value.
   int num_threads = 1;
-  /// Region backend. Null selects make_global_provider(adaptive); for the
-  /// localized Algorithm 2 set
+  /// Region backend. Null selects by network size: the exact global solver
+  /// up to provider_auto_threshold nodes, the localized Algorithm 2 above it
+  /// (the global snapshot path is the wrong tool at that scale — see
+  /// GlobalRegionProvider::kMaxSites). To force a backend set
+  ///   cfg.provider = make_global_provider(cfg.adaptive);       // or
   ///   cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
   std::shared_ptr<RegionProvider> provider;
+  /// Network size above which a null `provider` selects the localized
+  /// backend instead of the global one.
+  int provider_auto_threshold = 20000;
+  /// Keep the full per-round RoundMetrics history in RunResult::history.
+  /// Off by default: long runs at large n made the engine's memory
+  /// O(n + rounds) for data most callers never read — the streaming
+  /// RunResult::series carries the per-round aggregates either way.
+  bool retain_history = false;
   vor::AdaptiveConfig adaptive;   ///< global-provider tuning
   LocalizedConfig localized;      ///< localized-provider tuning
   std::uint64_t seed = 1;         ///< feeds localization noise simulation
@@ -59,8 +77,27 @@ struct RoundMetrics {
   wsn::CommStats comm;            ///< localized provider message accounting
 };
 
+/// Constant-memory digest of the whole round sequence: every field is a
+/// running accumulator updated once per round, so a million-round run costs
+/// the same memory as a ten-round one. `last` is the final round's full
+/// RoundMetrics — the convergence tail most consumers actually inspect.
+struct RoundSeries {
+  int rounds = 0;
+  double travel = 0.0;       ///< sum over rounds of max_move (Fig. 6 travel)
+  Summary max_circumradius;  ///< per-round max circumradius series
+  Summary max_move;          ///< per-round max displacement series
+  Summary moved;             ///< per-round moved-node counts
+  RoundMetrics last;         ///< metrics of the most recent round
+  wsn::CommStats comm;       ///< message totals across all rounds
+
+  void add(const RoundMetrics& m);
+};
+
 struct RunResult {
+  /// Full per-round record; filled only when LaacadConfig::retain_history
+  /// is set (empty otherwise — use `series` for aggregates).
   std::vector<RoundMetrics> history;
+  RoundSeries series;  ///< always populated, O(1) memory
   int rounds = 0;
   bool converged = false;
   double final_max_range = 0.0;  ///< R* = max_i r*_i
@@ -96,7 +133,8 @@ class Engine {
   void finalize();
 
   /// Dominating region of node i at the current positions (for inspection,
-  /// visualization, and tests).
+  /// visualization, and tests). Computes node i's region only — not a
+  /// full-network pass.
   DominatingRegion region_of(wsn::NodeId i);
 
   const LaacadConfig& config() const { return cfg_; }
@@ -106,7 +144,9 @@ class Engine {
   int rounds_executed() const { return round_; }
 
  private:
-  std::vector<DominatingRegion> compute_all_regions(RoundMetrics* metrics);
+  /// Serial snapshot phase: hand the network (and the round pool) to the
+  /// provider and advance the epoch.
+  void snapshot_round();
 
   wsn::Network* net_;
   LaacadConfig cfg_;

@@ -1,6 +1,8 @@
 #include "laacad/region_provider.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "voronoi/sites.hpp"
 
@@ -28,10 +30,18 @@ GlobalRegionProvider::GlobalRegionProvider(vor::AdaptiveConfig cfg)
     : cfg_(cfg) {}
 
 void GlobalRegionProvider::begin_round(wsn::Network& net, int k,
-                                       std::uint64_t /*epoch*/) {
+                                       std::uint64_t /*epoch*/,
+                                       common::ThreadPool* pool) {
+  if (net.size() > kMaxSites) {
+    throw std::invalid_argument(
+        "GlobalRegionProvider: network size " + std::to_string(net.size()) +
+        " exceeds the global snapshot cap of " + std::to_string(kMaxSites) +
+        " nodes; use make_localized_provider() (backend \"localized\", or "
+        "\"auto\" above LaacadConfig::provider_auto_threshold) at this scale");
+  }
   k_ = k;
   sites_ = vor::separate_sites(net.positions());
-  grid_.rebuild(sites_, std::max(net.gamma(), 1.0));
+  grid_.rebuild(sites_, std::max(net.gamma(), 1.0), pool);
   bbox_ = net.domain().bbox();
 }
 
@@ -50,11 +60,14 @@ LocalizedRegionProvider::LocalizedRegionProvider(LocalizedConfig cfg,
     : cfg_(cfg), seed_(seed) {}
 
 void LocalizedRegionProvider::begin_round(wsn::Network& net, int k,
-                                          std::uint64_t epoch) {
+                                          std::uint64_t epoch,
+                                          common::ThreadPool* pool) {
   k_ = k;
   epoch_ = epoch;
-  // Boundary verdicts first (they query the network's spatial index and
-  // warm it), then the connectivity snapshot the gathers run over.
+  // Warm the spatial index with the lent pool (bit-identical re-bin for any
+  // thread count), then boundary verdicts (they query that index), then the
+  // connectivity snapshot the gathers run over.
+  net.warm_grid(pool);
   boundaries_ = wsn::detect_all_boundaries(net, cfg_.boundary);
   comm_.emplace(net);
 }

@@ -62,7 +62,12 @@ class RegionProvider {
   /// increasing call counter supplied by the engine; providers that consume
   /// randomness must derive it from (seed, epoch, node) only, never from a
   /// stream shared across nodes, or parallel rounds lose determinism.
-  virtual void begin_round(wsn::Network& net, int k, std::uint64_t epoch) = 0;
+  /// `pool` (possibly null) is the engine's round pool, lent for data-
+  /// parallel snapshot work — anything run on it must stay bit-identical
+  /// for every thread count (e.g. SpatialGrid::rebuild); it must not leak
+  /// past the call.
+  virtual void begin_round(wsn::Network& net, int k, std::uint64_t epoch,
+                           common::ThreadPool* pool = nullptr) = 0;
 
   /// Dominating region of node i against the begin_round() snapshot. Must be
   /// a pure function of (snapshot, i): implementations may not touch shared
@@ -75,9 +80,17 @@ class RegionProvider {
 /// Adaptive exact solver (Lemma 1, geometric ring growth).
 class GlobalRegionProvider final : public RegionProvider {
  public:
+  /// Largest network the global snapshot path accepts. Past this size the
+  /// per-round full-network separate-and-re-bin (plus the Lemma-1 gathers'
+  /// appetite for dense candidate lists) stops being the right tool;
+  /// begin_round() refuses with a named error directing callers to the
+  /// localized provider rather than degrading into a multi-hour round.
+  static constexpr int kMaxSites = 200000;
+
   explicit GlobalRegionProvider(vor::AdaptiveConfig cfg = {});
 
-  void begin_round(wsn::Network& net, int k, std::uint64_t epoch) override;
+  void begin_round(wsn::Network& net, int k, std::uint64_t epoch,
+                   common::ThreadPool* pool = nullptr) override;
   RegionOutput compute(wsn::NodeId i) const override;
   std::string_view name() const override { return "global"; }
 
@@ -95,7 +108,8 @@ class LocalizedRegionProvider final : public RegionProvider {
   explicit LocalizedRegionProvider(LocalizedConfig cfg = {},
                                    std::uint64_t seed = 1);
 
-  void begin_round(wsn::Network& net, int k, std::uint64_t epoch) override;
+  void begin_round(wsn::Network& net, int k, std::uint64_t epoch,
+                   common::ThreadPool* pool = nullptr) override;
   RegionOutput compute(wsn::NodeId i) const override;
   std::string_view name() const override { return "localized"; }
 

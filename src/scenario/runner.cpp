@@ -166,11 +166,14 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   cfg.max_rounds = spec_.max_rounds;
   cfg.seed = spec_.seed;
   cfg.num_threads = spec_.num_threads;
-  if (spec_.backend == "localized") {
-    cfg.localized.max_hops = spec_.max_hops;
-    cfg.localized.frame.range_noise = spec_.noise;
+  cfg.localized.max_hops = spec_.max_hops;
+  cfg.localized.frame.range_noise = spec_.noise;
+  if (spec_.backend == "localized")
     cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
-  }
+  else if (spec_.backend == "global")
+    cfg.provider = core::make_global_provider(cfg.adaptive);
+  // backend "auto": provider stays null and the engine selects by network
+  // size (global below provider_auto_threshold, localized above).
   engine_ = std::make_unique<core::Engine>(*net_, cfg);
 }
 
@@ -195,22 +198,23 @@ PhaseRecord ScenarioRunner::run_phase(int phase_idx, const std::string& cause,
     core::RoundMetrics m = engine_->step();
     ++global_round_;
     const bool done = (m.moved == 0);
-    rec.history.push_back(std::move(m));
+    rec.series.add(m);
+    if (spec_.history) rec.history.push_back(std::move(m));
     if (done) {
       rec.converged = true;
       break;
     }
   }
-  rec.rounds = static_cast<int>(rec.history.size());
+  rec.rounds = rec.series.rounds;
 
   // Tune sensing ranges for the current positions, then verify what this
   // phase actually delivers: k-coverage, load balance, connectivity.
   engine_->finalize();
   rec.nodes = net_->size();
   double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
-  for (const wsn::Node& n : net_->nodes()) {
-    rmax = std::max(rmax, n.sensing_range);
-    rmin = std::min(rmin, n.sensing_range);
+  for (const double r : net_->sensing_ranges()) {
+    rmax = std::max(rmax, r);
+    rmin = std::min(rmin, r);
   }
   rec.final_max_range = rmax;
   rec.final_min_range = std::isfinite(rmin) ? rmin : 0.0;
@@ -497,18 +501,29 @@ void ScenarioResult::write_json(std::ostream& out) const {
     w.kv("min", p.battery_min);
     w.kv("mean", p.battery_mean);
     w.end_object();
-    w.key("history").begin_array();
-    for (const core::RoundMetrics& m : p.history) {
-      w.begin_object();
-      w.kv("round", m.round);
-      w.kv("max_circumradius", m.max_circumradius);
-      w.kv("min_circumradius", m.min_circumradius);
-      w.kv("max_hat_radius", m.max_hat_radius);
-      w.kv("max_move", m.max_move);
-      w.kv("moved", m.moved);
-      w.end_object();
+    // Streaming aggregates are always present; the full per-round history
+    // only when the spec opted in (`history true`) — its absence is the
+    // constant-memory contract, not a truncation.
+    w.key("series").begin_object();
+    w.kv("travel", p.series.travel);
+    w.kv("mean_max_circumradius", p.series.max_circumradius.mean());
+    w.kv("mean_max_move", p.series.max_move.mean());
+    w.kv("mean_moved", p.series.moved.mean());
+    w.end_object();
+    if (spec.history) {
+      w.key("history").begin_array();
+      for (const core::RoundMetrics& m : p.history) {
+        w.begin_object();
+        w.kv("round", m.round);
+        w.kv("max_circumradius", m.max_circumradius);
+        w.kv("min_circumradius", m.min_circumradius);
+        w.kv("max_hat_radius", m.max_hat_radius);
+        w.kv("max_move", m.max_move);
+        w.kv("moved", m.moved);
+        w.end_object();
+      }
+      w.end_array();
     }
-    w.end_array();
     w.end_object();
   }
   w.end_array();

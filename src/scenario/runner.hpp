@@ -45,6 +45,9 @@ struct PhaseRecord {
   int components = 0;               ///< radio graph at 1.25 R*
   double battery_min = 0.0;
   double battery_mean = 0.0;
+  /// Streaming per-round aggregates (constant memory, always populated).
+  core::RoundSeries series;
+  /// Full per-round record; only filled when ScenarioSpec::history is set.
   std::vector<core::RoundMetrics> history;
 };
 

@@ -210,6 +210,7 @@ ScenarioSpec parse_scenario(std::istream& in) {
     if (key == "name") spec.name = val;
     else if (key == "seed") spec.seed = parse_uint64(val, lineno, key);
     else if (key == "threads") spec.num_threads = parse_int(val, lineno, key);
+    else if (key == "history") spec.history = parse_bool(val, lineno, key);
     else if (!set_key(spec, key, val, lineno))
       fail(lineno, "unknown key '" + key + "'");
   }
@@ -270,7 +271,8 @@ void validate(const ScenarioSpec& spec) {
   if (spec.deploy != "uniform" && spec.deploy != "corner" &&
       spec.deploy != "gaussian" && spec.deploy != "stacked")
     bad("unknown deploy '" + spec.deploy + "'");
-  if (spec.backend != "global" && spec.backend != "localized")
+  if (spec.backend != "global" && spec.backend != "localized" &&
+      spec.backend != "auto")
     bad("unknown backend '" + spec.backend + "'");
   for (const ObstacleRect& rect : spec.obstacles) {
     if (!(rect.lo.x < rect.hi.x) || !(rect.lo.y < rect.hi.y))

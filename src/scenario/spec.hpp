@@ -106,11 +106,19 @@ struct ScenarioSpec {
   double epsilon = 0.5;
   int max_rounds = 300;  ///< per redeployment phase
   double gamma = 0.0;    ///< transmission range; 0 = density-aware auto
-  std::string backend = "global";  ///< global | localized
+  /// global | localized | auto (auto: engine picks global below its
+  /// provider_auto_threshold node count, localized above it).
+  std::string backend = "global";
   int max_hops = 10;
   double noise = 0.0;
   std::uint64_t seed = 1;
   int num_threads = 1;  ///< execution detail; never serialized into metrics
+  /// Retain (and serialize) the full per-round history of every phase. Off
+  /// by default: per-phase aggregates and the streaming series cover the
+  /// usual consumers, and O(rounds) records per phase is exactly the memory
+  /// shape the million-node runs cannot afford. Output detail like
+  /// `threads`, not a physical key — the campaign engine cannot sweep it.
+  bool history = false;
   double battery = 1.0e6;
   double grid_resolution = 5.0;  ///< coverage-check lattice spacing (m)
   std::vector<Event> events;

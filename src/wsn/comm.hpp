@@ -36,7 +36,9 @@ class CommModel {
   /// the paper's idealized gather over the connected component — on a
   /// unit-disk graph a Euclidean-close node can be many hops away).
   /// Logs gather cost into `stats`, including the deepest hop actually
-  /// needed to reach a gathered node.
+  /// needed to reach a gathered node. The unbounded case resolves
+  /// membership via the spatial grid and early-exits the BFS, so its cost
+  /// is O(neighborhood), not O(network); the gathered set is identical.
   std::vector<int> gather(NodeId i, double rho, int ttl,
                           CommStats* stats) const;
 

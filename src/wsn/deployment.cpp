@@ -8,8 +8,15 @@ namespace laacad::wsn {
 using geom::Vec2;
 
 double auto_comm_range(const Domain& domain, int nodes, double side) {
-  return std::max(side / 6.0,
-                  1.7 * std::sqrt(domain.area() / std::max(nodes, 1)));
+  const double per_node = domain.area() / std::max(nodes, 1);
+  const double range = std::max(side / 6.0, 1.7 * std::sqrt(per_node));
+  // Density ceiling: ~40 expected nodes per gamma-disk. Without it the
+  // side/6 floor makes gamma O(side) regardless of population, and at
+  // 10^5+ nodes every localized gather ring holds thousands of nodes —
+  // the O(n * ring_population) wall the scale ladder exists to catch. For
+  // a square the ceiling only binds above ~460 nodes, so every sparse
+  // config keeps the exact historical value.
+  return std::min(range, std::sqrt(40.0 * per_node / M_PI));
 }
 
 Domain make_named_domain(const std::string& name, double side,

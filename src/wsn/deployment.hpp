@@ -13,8 +13,10 @@ namespace laacad::wsn {
 
 /// Density-aware auto transmission range: large enough that the disk graph
 /// stays well connected (~9 expected one-hop neighbours) even for sparse
-/// populations, floored at side/6. Shared by laacad_sim and the scenario
-/// engine so their runs are cross-comparable.
+/// populations, floored at side/6 — but ceilinged so a gamma-disk holds
+/// ~40 expected nodes, which keeps localized gather rings O(1)-sized in
+/// the dense (10^5+) regime. Shared by laacad_sim and the scenario engine
+/// so their runs are cross-comparable.
 double auto_comm_range(const Domain& domain, int nodes, double side);
 
 /// The named evaluation domains ("square" | "lshape" | "cross"), optionally

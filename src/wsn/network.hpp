@@ -1,6 +1,15 @@
 // The WSN itself: a set of mobile sensor nodes in a domain with a common
 // transmission range gamma (Sec. III-A).
 //
+// Storage is dual AoS/SoA: the `Node` records (id, pos, sensing range,
+// boundary flag) stay the inspection-friendly API, while the hot per-round
+// loops — grid rebuilds, candidate dist² scans, range reductions — read the
+// parallel SoA arrays xs()/ys()/sensing_ranges()/boundary_mask(), which are
+// contiguous and vectorize. Every mutation goes through the setters below,
+// which write both representations, so the two can never diverge (the
+// coherence is property-tested; there is deliberately no mutable node
+// accessor).
+//
 // Threading contract: the spatial index behind the const query methods
 // (nodes_within / k_nearest / one_hop_neighbors) is built lazily after
 // moves, guarded by a mutex with an atomic dirty flag, so any number of
@@ -11,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -39,10 +49,19 @@ class Network {
   }
   std::vector<geom::Vec2> positions() const;
 
+  /// SoA hot state, parallel to nodes(): coordinate, sensing-range, and
+  /// boundary-flag arrays kept bitwise in sync with the Node records by the
+  /// setters. These are what the per-round hot loops scan — contiguous
+  /// doubles the compiler vectorizes, where iterating Node records cannot.
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+  const std::vector<double>& sensing_ranges() const { return sense_; }
+  const std::vector<std::uint8_t>& boundary_mask() const { return boundary_; }
+
   /// Move node i (projected into the feasible domain); invalidates the grid.
   /// All mutation goes through these setters — there is deliberately no
   /// mutable node accessor, so a position can never change behind the
-  /// spatial index's back.
+  /// spatial index's (or the SoA mirror's) back.
   void set_position(NodeId i, geom::Vec2 p);
   void set_sensing_range(NodeId i, double r);
   void set_boundary(NodeId i, bool boundary);
@@ -69,14 +88,21 @@ class Network {
 
   /// Force the lazy grid up to date now (e.g. before handing the network to
   /// concurrent readers, to keep the first query from paying the rebuild).
-  void warm_grid() const;
+  /// A non-null `pool` fans the re-bin across its threads (bit-identical
+  /// result; see SpatialGrid::rebuild) — the engine passes its round pool so
+  /// index maintenance is not a serial O(n) wall at scale. The pool is used
+  /// only for this call, never retained.
+  void warm_grid(common::ThreadPool* pool = nullptr) const;
 
  private:
-  const SpatialGrid& grid() const;
+  const SpatialGrid& grid(common::ThreadPool* pool = nullptr) const;
 
   const Domain* domain_;
   double gamma_;
   std::vector<Node> nodes_;
+  // SoA mirrors of the hot Node fields, maintained by every mutator.
+  std::vector<double> xs_, ys_, sense_;
+  std::vector<std::uint8_t> boundary_;
   mutable SpatialGrid grid_;
   mutable std::atomic<bool> grid_dirty_{true};
   mutable std::mutex grid_mutex_;

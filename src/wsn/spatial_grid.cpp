@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/perf_counters.hpp"
+#include "common/thread_pool.hpp"
 
 namespace laacad::wsn {
 
@@ -15,31 +16,131 @@ SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double cell_size) {
   rebuild(points, cell_size);
 }
 
-void SpatialGrid::rebuild(const std::vector<Vec2>& points, double cell_size) {
-  points_.assign(points.begin(), points.end());
-  cell_ = std::max(cell_size, 1e-6);
-  geom::BBox bb = geom::bounding_box(points_);
-  origin_ = bb.lo;
-  const int nx =
-      std::max(1, static_cast<int>(std::ceil((bb.width() + 1e-9) / cell_)));
-  const int ny =
-      std::max(1, static_cast<int>(std::ceil((bb.height() + 1e-9) / cell_)));
-  if (nx == nx_ && ny == ny_ && !buckets_.empty()) {
-    for (auto& bucket : buckets_) bucket.clear();  // keep capacity
-  } else {
-    nx_ = nx;
-    ny_ = ny;
-    buckets_.assign(static_cast<std::size_t>(nx_) * ny_, {});
+void SpatialGrid::rebuild(const std::vector<Vec2>& points, double cell_size,
+                          common::ThreadPool* pool) {
+  // Stage the AoS snapshot into the slot arrays unsorted, then re-bin over
+  // them in place. px_/py_ double as the staging buffer: the cell-id pass
+  // below reads coordinates by point index before any slot is written.
+  const std::size_t n = points.size();
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = points[i].x;
+    ys[i] = points[i].y;
   }
-  for (int i = 0; i < static_cast<int>(points_.size()); ++i) {
-    auto [cx, cy] = cell_of(points_[i]);
-    buckets_[cell_index(cx, cy)].push_back(i);
-  }
+  rebuild(xs.data(), ys.data(), n, cell_size, pool);
 }
 
-std::pair<int, int> SpatialGrid::cell_of(Vec2 p) const {
-  int cx = static_cast<int>(std::floor((p.x - origin_.x) / cell_));
-  int cy = static_cast<int>(std::floor((p.y - origin_.y) / cell_));
+void SpatialGrid::rebuild(const double* xs, const double* ys, std::size_t n,
+                          double cell_size, common::ThreadPool* pool) {
+  n_ = n;
+  cell_ = std::max(cell_size, 1e-6);
+  if (n == 0) {
+    origin_ = Vec2{0.0, 0.0};
+    nx_ = ny_ = 1;
+    px_.clear();
+    py_.clear();
+    order_.clear();
+    cell_start_.assign(2, 0);
+    return;
+  }
+
+  // Bounding box: min/max are order-independent, so the chunked reduction
+  // below matches the serial scan bit-for-bit regardless of thread count.
+  const int nn = static_cast<int>(n);
+  double lo_x = xs[0], lo_y = ys[0], hi_x = xs[0], hi_y = ys[0];
+  for (int i = 1; i < nn; ++i) {
+    lo_x = std::min(lo_x, xs[i]);
+    lo_y = std::min(lo_y, ys[i]);
+    hi_x = std::max(hi_x, xs[i]);
+    hi_y = std::max(hi_y, ys[i]);
+  }
+  origin_ = Vec2{lo_x, lo_y};
+  nx_ = std::max(1, static_cast<int>(std::ceil((hi_x - lo_x + 1e-9) / cell_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil((hi_y - lo_y + 1e-9) / cell_)));
+  const std::size_t cells = static_cast<std::size_t>(nx_) * ny_;
+
+  px_.resize(n);
+  py_.resize(n);
+  order_.resize(n);
+  cell_id_.resize(n);
+  cell_start_.assign(cells + 1, 0);
+
+  const int threads =
+      pool != nullptr && nn >= 4096 ? std::min(pool->size(), nn) : 1;
+  if (threads <= 1) {
+    // Serial count-then-scatter: cell histogram, exclusive scan, then one
+    // ascending-index pass that drops every point into its cell's next free
+    // slot — cell-major order, ascending index within a cell.
+    for (int i = 0; i < nn; ++i) {
+      const auto [cx, cy] = cell_of(xs[i], ys[i]);
+      const int c = cell_index(cx, cy);
+      cell_id_[static_cast<std::size_t>(i)] = c;
+      ++cell_start_[static_cast<std::size_t>(c) + 1];
+    }
+    for (std::size_t c = 0; c < cells; ++c)
+      cell_start_[c + 1] += cell_start_[c];
+    std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
+    for (int i = 0; i < nn; ++i) {
+      const int c = cell_id_[static_cast<std::size_t>(i)];
+      const int slot = cursor[static_cast<std::size_t>(c)]++;
+      order_[static_cast<std::size_t>(slot)] = i;
+      px_[static_cast<std::size_t>(slot)] = xs[i];
+      py_[static_cast<std::size_t>(slot)] = ys[i];
+    }
+    return;
+  }
+
+  // Parallel count-then-scatter. Chunk t covers the same contiguous index
+  // range ThreadPool::run assigns chunk t, so per-chunk histograms line up
+  // with the scatter pass. Final slot order: cells ascending, and within a
+  // cell chunks ascending then indices ascending — i.e. ascending point
+  // index, identical to the serial pass for every thread count.
+  const auto chunk_bounds = [&](int t) {
+    const long long b = static_cast<long long>(t) * nn / threads;
+    const long long e = static_cast<long long>(t + 1) * nn / threads;
+    return std::pair<int, int>{static_cast<int>(b), static_cast<int>(e)};
+  };
+  std::vector<std::vector<int>> counts(
+      static_cast<std::size_t>(threads));
+  pool->run(threads, [&](int t) {
+    auto& mine = counts[static_cast<std::size_t>(t)];
+    mine.assign(cells, 0);
+    const auto [begin, end] = chunk_bounds(t);
+    for (int i = begin; i < end; ++i) {
+      const auto [cx, cy] = cell_of(xs[i], ys[i]);
+      const int c = cell_index(cx, cy);
+      cell_id_[static_cast<std::size_t>(i)] = c;
+      ++mine[static_cast<std::size_t>(c)];
+    }
+  });
+  // Exclusive scan over (cell, chunk): counts[t][c] becomes chunk t's first
+  // slot in cell c, and cell_start_ the per-cell offsets.
+  int running = 0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_start_[c] = running;
+    for (int t = 0; t < threads; ++t) {
+      const int k = counts[static_cast<std::size_t>(t)][c];
+      counts[static_cast<std::size_t>(t)][c] = running;
+      running += k;
+    }
+  }
+  cell_start_[cells] = running;
+  pool->run(threads, [&](int t) {
+    auto& cursor = counts[static_cast<std::size_t>(t)];
+    const auto [begin, end] = chunk_bounds(t);
+    for (int i = begin; i < end; ++i) {
+      const int c = cell_id_[static_cast<std::size_t>(i)];
+      const int slot = cursor[static_cast<std::size_t>(c)]++;
+      order_[static_cast<std::size_t>(slot)] = i;
+      px_[static_cast<std::size_t>(slot)] = xs[i];
+      py_[static_cast<std::size_t>(slot)] = ys[i];
+    }
+  });
+}
+
+std::pair<int, int> SpatialGrid::cell_of(double x, double y) const {
+  int cx = static_cast<int>(std::floor((x - origin_.x) / cell_));
+  int cy = static_cast<int>(std::floor((y - origin_.y) / cell_));
   cx = std::clamp(cx, 0, nx_ - 1);
   cy = std::clamp(cy, 0, ny_ - 1);
   return {cx, cy};
@@ -50,9 +151,9 @@ int SpatialGrid::cell_index(int cx, int cy) const { return cy * nx_ + cx; }
 void SpatialGrid::gather(Vec2 q, double radius, int exclude,
                          std::vector<std::pair<double, int>>& out) const {
   out.clear();
-  if (points_.empty() || radius < 0.0) return;
+  if (n_ == 0 || radius < 0.0) return;
   const int r_cells = static_cast<int>(std::ceil(radius / cell_)) + 1;
-  auto [cx, cy] = cell_of(q);
+  auto [cx, cy] = cell_of(q.x, q.y);
   const double r2 = radius * radius;
   std::uint64_t checked = 0;
   // Clamp the scan window up front: for far-outside queries r_cells can be
@@ -60,13 +161,23 @@ void SpatialGrid::gather(Vec2 q, double radius, int exclude,
   const int y_lo = std::max(0, cy - r_cells), y_hi = std::min(ny_ - 1, cy + r_cells);
   const int x_lo = std::max(0, cx - r_cells), x_hi = std::min(nx_ - 1, cx + r_cells);
   for (int y = y_lo; y <= y_hi; ++y) {
-    for (int x = x_lo; x <= x_hi; ++x) {
-      for (int idx : buckets_[cell_index(x, y)]) {
-        if (idx == exclude) continue;
-        ++checked;
-        const double d2 = geom::dist2(points_[idx], q);
-        if (d2 <= r2) out.emplace_back(d2, idx);
+    // One cell row is a contiguous slot range: batch the dist² evaluations
+    // over the SoA coordinate slices instead of visiting cell by cell.
+    const int row = y * nx_;
+    const int begin = cell_start_[static_cast<std::size_t>(row + x_lo)];
+    const int end = cell_start_[static_cast<std::size_t>(row + x_hi) + 1];
+    checked += static_cast<std::uint64_t>(end - begin);
+    for (int j = begin; j < end; ++j) {
+      const int idx = order_[static_cast<std::size_t>(j)];
+      if (idx == exclude) {
+        --checked;  // counter means "candidates distance-checked"
+        continue;
       }
+      const double d2 = geom::dist2(
+          Vec2{px_[static_cast<std::size_t>(j)],
+               py_[static_cast<std::size_t>(j)]},
+          q);
+      if (d2 <= r2) out.emplace_back(d2, idx);
     }
   }
   perf::counters().dist2_evals += checked;
@@ -77,21 +188,26 @@ std::vector<int> SpatialGrid::within(Vec2 q, double radius) const {
   // this per sample point / per node and never use the distances, so don't
   // stage (dist2, index) pairs they would immediately discard.
   std::vector<int> out;
-  if (points_.empty() || radius < 0.0) return out;
+  if (n_ == 0 || radius < 0.0) return out;
   auto& pc = perf::counters();
   ++pc.grid_queries;
   const int r_cells = static_cast<int>(std::ceil(radius / cell_)) + 1;
-  auto [cx, cy] = cell_of(q);
+  auto [cx, cy] = cell_of(q.x, q.y);
   const double r2 = radius * radius;
   const int y_lo = std::max(0, cy - r_cells), y_hi = std::min(ny_ - 1, cy + r_cells);
   const int x_lo = std::max(0, cx - r_cells), x_hi = std::min(nx_ - 1, cx + r_cells);
   std::uint64_t checked = 0;
   for (int y = y_lo; y <= y_hi; ++y) {
-    for (int x = x_lo; x <= x_hi; ++x) {
-      for (int idx : buckets_[cell_index(x, y)]) {
-        ++checked;
-        if (geom::dist2(points_[idx], q) <= r2) out.push_back(idx);
-      }
+    const int row = y * nx_;
+    const int begin = cell_start_[static_cast<std::size_t>(row + x_lo)];
+    const int end = cell_start_[static_cast<std::size_t>(row + x_hi) + 1];
+    checked += static_cast<std::uint64_t>(end - begin);
+    for (int j = begin; j < end; ++j) {
+      const double d2 = geom::dist2(
+          Vec2{px_[static_cast<std::size_t>(j)],
+               py_[static_cast<std::size_t>(j)]},
+          q);
+      if (d2 <= r2) out.push_back(order_[static_cast<std::size_t>(j)]);
     }
   }
   pc.dist2_evals += checked;
@@ -109,7 +225,7 @@ void SpatialGrid::collect_within(Vec2 q, double radius,
 
 std::vector<int> SpatialGrid::k_nearest(Vec2 q, int k, int exclude) const {
   std::vector<int> out;
-  if (points_.empty() || k <= 0) return out;
+  if (n_ == 0 || k <= 0) return out;
   ++perf::counters().grid_queries;
   // Expanding-radius search. `cover` provably reaches every point from q
   // wherever q lies — also outside the points' bounding box, where the old

@@ -1,13 +1,29 @@
 // Uniform hash grid over node positions: radius queries and k-nearest
 // queries in (near) constant time per result for the densities this project
 // simulates. Used by the Voronoi solvers and the communication model.
+//
+// Storage is CSR ("structure of arrays"): point indices are sorted into
+// cell-major slot order once per rebuild, and the slot-ordered coordinate
+// arrays px_/py_ are what the query loops scan — every candidate distance
+// evaluation reads two contiguous doubles instead of chasing a
+// vector<vector<int>> bucket, so the dist² inner loops vectorize and a
+// rebuild is two counting passes instead of n push_backs. rebuild() can
+// fan those passes across a common::ThreadPool; the count-then-scatter
+// scheme reserves each thread's slot range up front, so the final slot
+// order (cell-major, ascending point index within a cell) is a pure
+// function of the input for every thread count, serial included.
 #pragma once
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
 #include "geometry/polygon.hpp"
 #include "geometry/vec2.hpp"
+
+namespace laacad::common {
+class ThreadPool;
+}
 
 namespace laacad::wsn {
 
@@ -21,12 +37,19 @@ class SpatialGrid {
   /// move every round anyway).
   SpatialGrid(const std::vector<geom::Vec2>& points, double cell_size);
 
-  /// Re-bin over a new snapshot without reallocating: bucket storage is
-  /// reused whenever the grid dimensions are unchanged (the common case
-  /// between consecutive rounds, where nodes move a fraction of a cell).
-  /// Queries issued concurrently with rebuild() are undefined — callers
-  /// synchronize (see Network::grid()).
-  void rebuild(const std::vector<geom::Vec2>& points, double cell_size);
+  /// Re-bin over a new snapshot without reallocating (slot arrays are
+  /// resized in place, the common case between consecutive rounds being a
+  /// no-op). A non-null `pool` fans the cell-id and scatter passes across
+  /// its threads; the resulting arrays are bit-identical for every thread
+  /// count. Queries issued concurrently with rebuild() are undefined —
+  /// callers synchronize (see Network::grid()).
+  void rebuild(const std::vector<geom::Vec2>& points, double cell_size,
+               common::ThreadPool* pool = nullptr);
+
+  /// Same, over SoA coordinate arrays (the wsn::Network hot state) — skips
+  /// staging a vector<Vec2> copy of a million-point snapshot.
+  void rebuild(const double* xs, const double* ys, std::size_t n,
+               double cell_size, common::ThreadPool* pool = nullptr);
 
   /// Indices of points with dist(p, q) <= radius (including any point equal
   /// to q itself), sorted ascending by index.
@@ -47,20 +70,31 @@ class SpatialGrid {
   /// box (the Voronoi kernel probes just outside cell edges).
   std::vector<int> k_nearest(geom::Vec2 q, int k, int exclude = -1) const;
 
-  std::size_t size() const { return points_.size(); }
+  std::size_t size() const { return n_; }
   double cell_size() const { return cell_; }
 
+  /// CSR internals, exposed for the rebuild-determinism tests: slot j holds
+  /// point order()[j] at (slot_x()[j], slot_y()[j]); cell c owns slots
+  /// [cell_start()[c], cell_start()[c+1]).
+  const std::vector<int>& order() const { return order_; }
+  const std::vector<int>& cell_start() const { return cell_start_; }
+  const std::vector<double>& slot_x() const { return px_; }
+  const std::vector<double>& slot_y() const { return py_; }
+
  private:
-  std::pair<int, int> cell_of(geom::Vec2 p) const;
+  std::pair<int, int> cell_of(double x, double y) const;
   int cell_index(int cx, int cy) const;
   void gather(geom::Vec2 q, double radius, int exclude,
               std::vector<std::pair<double, int>>& out) const;
 
-  std::vector<geom::Vec2> points_;
+  std::size_t n_ = 0;
   double cell_ = 1.0;
   geom::Vec2 origin_;
   int nx_ = 1, ny_ = 1;
-  std::vector<std::vector<int>> buckets_;
+  std::vector<double> px_, py_;    ///< coordinates in slot order
+  std::vector<int> order_;         ///< slot -> original point index
+  std::vector<int> cell_start_;    ///< nx_*ny_ + 1 slot offsets
+  std::vector<int> cell_id_;       ///< rebuild scratch: point -> cell
 };
 
 }  // namespace laacad::wsn

@@ -16,6 +16,7 @@ LaacadConfig quick_config(int k, double alpha = 1.0) {
   cfg.alpha = alpha;
   cfg.epsilon = 0.5;
   cfg.max_rounds = 250;
+  cfg.retain_history = true;  // several tests assert on the round record
   return cfg;
 }
 
@@ -309,7 +310,8 @@ class StubSquareProvider final : public RegionProvider {
  public:
   explicit StubSquareProvider(geom::BBox box) : box_(box) {}
 
-  void begin_round(wsn::Network&, int, std::uint64_t) override {}
+  void begin_round(wsn::Network&, int, std::uint64_t,
+                   common::ThreadPool*) override {}
 
   RegionOutput compute(wsn::NodeId) const override {
     RegionOutput out;

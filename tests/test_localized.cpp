@@ -137,6 +137,7 @@ TEST(Localized, EngineLocalizedBackendConvergesAndCovers) {
   cfg.epsilon = 1.0;
   cfg.max_rounds = 200;
   cfg.localized.max_hops = 8;
+  cfg.retain_history = true;  // the comm assertion reads the first round
   cfg.provider = make_localized_provider(cfg.localized, cfg.seed);
   Engine engine(net, cfg);
   RunResult res = engine.run();

@@ -1,0 +1,212 @@
+// SoA/AoS coherence and parallel grid-rebuild determinism.
+//
+// wsn::Network stores node state twice: the inspection-friendly Node
+// records (AoS) and the hot-loop arrays xs()/ys()/sensing_ranges()/
+// boundary_mask() (SoA). The contract is that every mutation path leaves
+// the two representations bitwise identical — these tests drive each
+// mutator (construction, set_position, set_sensing_range, set_boundary,
+// add_node, remove_node, rebind_domain) through randomized sequences and
+// check the invariant after every step.
+//
+// The second half pins SpatialGrid's count-then-scatter parallel rebuild:
+// the CSR arrays (order, cell_start, slot coordinates) must be bitwise
+// identical for 1, 2, and 8 threads — including after add/remove churn —
+// because everything downstream (candidate orders, k_nearest ties) reads
+// slot order.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/network.hpp"
+#include "wsn/spatial_grid.hpp"
+
+namespace {
+
+using namespace laacad;
+using geom::Vec2;
+
+// Bitwise equality: the SoA arrays are written from the same stores as the
+// Node fields, so even -0.0 vs 0.0 or NaN payload differences would be a
+// coherence bug.
+void expect_coherent(const wsn::Network& net, const char* where) {
+  const auto& nodes = net.nodes();
+  ASSERT_EQ(nodes.size(), net.xs().size()) << where;
+  ASSERT_EQ(nodes.size(), net.ys().size()) << where;
+  ASSERT_EQ(nodes.size(), net.sensing_ranges().size()) << where;
+  ASSERT_EQ(nodes.size(), net.boundary_mask().size()) << where;
+  const auto pos = net.positions();
+  ASSERT_EQ(nodes.size(), pos.size()) << where;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].id, static_cast<wsn::NodeId>(i)) << where << " i=" << i;
+    EXPECT_EQ(std::memcmp(&nodes[i].pos.x, &net.xs()[i], sizeof(double)), 0)
+        << where << " x i=" << i;
+    EXPECT_EQ(std::memcmp(&nodes[i].pos.y, &net.ys()[i], sizeof(double)), 0)
+        << where << " y i=" << i;
+    EXPECT_EQ(std::memcmp(&nodes[i].sensing_range, &net.sensing_ranges()[i],
+                          sizeof(double)),
+              0)
+        << where << " range i=" << i;
+    EXPECT_EQ(nodes[i].boundary, net.boundary_mask()[i] != 0)
+        << where << " boundary i=" << i;
+    EXPECT_EQ(std::memcmp(&pos[i].x, &net.xs()[i], sizeof(double)), 0)
+        << where << " positions() x i=" << i;
+    EXPECT_EQ(std::memcmp(&pos[i].y, &net.ys()[i], sizeof(double)), 0)
+        << where << " positions() y i=" << i;
+  }
+}
+
+TEST(NetworkSoA, ConstructionMirrorsPositions) {
+  wsn::Domain domain = wsn::Domain::rectangle(500, 400);
+  Rng rng(11);
+  wsn::Network net(&domain, wsn::deploy_uniform(domain, 60, rng), 80.0);
+  expect_coherent(net, "after construction");
+}
+
+TEST(NetworkSoA, EveryMutationPathStaysCoherent) {
+  wsn::Domain domain = wsn::Domain::rectangle(300, 300);
+  Rng rng(29);
+  wsn::Network net(&domain, wsn::deploy_uniform(domain, 40, rng), 60.0);
+
+  // Randomized mutation fuzz: pick a mutator, apply it, re-check the full
+  // invariant. Covers interleavings (e.g. remove after set_position) that
+  // single-mutator tests miss.
+  for (int step = 0; step < 400; ++step) {
+    const int n = net.size();
+    ASSERT_GT(n, 0);
+    const auto i =
+        static_cast<wsn::NodeId>(rng.uniform_int(0, n - 1));
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        net.set_position(i, {rng.uniform(-50.0, 350.0),
+                             rng.uniform(-50.0, 350.0)});
+        break;
+      case 1:
+        net.set_sensing_range(i, rng.uniform(0.0, 120.0));
+        break;
+      case 2:
+        net.set_boundary(i, rng.uniform_int(0, 1) == 1);
+        break;
+      case 3:
+        net.add_node({rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+        break;
+      case 4:
+        if (n > 8) net.remove_node(i);
+        break;
+      case 5: {
+        // Queries between mutations force lazy grid rebuilds mid-sequence.
+        const auto near = net.k_nearest(net.position(i), 3, i);
+        EXPECT_LE(near.size(), 3u);
+        break;
+      }
+    }
+    expect_coherent(net, "after mutation step");
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(NetworkSoA, RebindDomainReprojectsBothRepresentations) {
+  wsn::Domain big = wsn::Domain::rectangle(1000, 1000);
+  wsn::Domain small = wsn::Domain::rectangle(200, 200);
+  Rng rng(7);
+  wsn::Network net(&big, wsn::deploy_uniform(big, 50, rng), 100.0);
+  net.rebind_domain(&small);
+  expect_coherent(net, "after rebind_domain");
+  for (const wsn::Node& nd : net.nodes())
+    EXPECT_TRUE(small.contains(nd.pos)) << "node " << nd.id;
+}
+
+// --------------------------------------------------------------------------
+// Parallel rebuild determinism.
+
+std::vector<Vec2> random_points(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+  return pts;
+}
+
+void expect_grids_identical(const wsn::SpatialGrid& a,
+                            const wsn::SpatialGrid& b, const char* what) {
+  ASSERT_EQ(a.order(), b.order()) << what;
+  ASSERT_EQ(a.cell_start(), b.cell_start()) << what;
+  ASSERT_EQ(a.slot_x().size(), b.slot_x().size()) << what;
+  for (std::size_t i = 0; i < a.slot_x().size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a.slot_x()[i], &b.slot_x()[i], sizeof(double)), 0)
+        << what << " slot_x " << i;
+    EXPECT_EQ(std::memcmp(&a.slot_y()[i], &b.slot_y()[i], sizeof(double)), 0)
+        << what << " slot_y " << i;
+  }
+}
+
+TEST(SpatialGridParallel, RebuildBitIdenticalAcrossThreadCounts) {
+  // 6000 points exceeds the parallel-path threshold, so pooled rebuilds
+  // really exercise count-then-scatter rather than falling back to serial.
+  const auto pts = random_points(6000, 77);
+  wsn::SpatialGrid serial(pts, 30.0);
+  for (int threads : {1, 2, 8}) {
+    common::ThreadPool pool(threads);
+    wsn::SpatialGrid parallel;
+    parallel.rebuild(pts, 30.0, &pool);
+    expect_grids_identical(serial, parallel,
+                           ("threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(SpatialGridParallel, RebuildBitIdenticalUnderChurn) {
+  // Simulate the engine's real pattern: the same grid object re-binned
+  // round after round while the point set mutates (moves, adds, removes).
+  auto pts = random_points(5000, 123);
+  Rng rng(5);
+  common::ThreadPool pool2(2);
+  common::ThreadPool pool8(8);
+  wsn::SpatialGrid g_serial, g_two, g_eight;
+  for (int round = 0; round < 5; ++round) {
+    for (int m = 0; m < 200; ++m) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(pts.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          pts[idx] = {rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)};
+          break;
+        case 1:
+          pts.push_back({rng.uniform(0.0, 900.0), rng.uniform(0.0, 900.0)});
+          break;
+        case 2:
+          if (pts.size() > 4200) pts.erase(pts.begin() + static_cast<long>(idx));
+          break;
+      }
+    }
+    g_serial.rebuild(pts, 25.0);
+    g_two.rebuild(pts, 25.0, &pool2);
+    g_eight.rebuild(pts, 25.0, &pool8);
+    expect_grids_identical(g_serial, g_two, "churn threads=2");
+    expect_grids_identical(g_serial, g_eight, "churn threads=8");
+  }
+}
+
+TEST(SpatialGridParallel, NetworkWarmGridMatchesQueries) {
+  // warm_grid with a pool must produce the same query answers as the lazy
+  // serial rebuild (slot order feeds k_nearest tie-breaks).
+  wsn::Domain domain = wsn::Domain::rectangle(800, 800);
+  Rng rng(41);
+  const auto initial = wsn::deploy_uniform(domain, 5000, rng);
+  wsn::Network lazy(&domain, initial, 40.0);
+  wsn::Network warmed(&domain, initial, 40.0);
+  common::ThreadPool pool(4);
+  warmed.warm_grid(&pool);
+  for (int probe = 0; probe < 50; ++probe) {
+    const Vec2 q{rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0)};
+    EXPECT_EQ(lazy.k_nearest(q, 5), warmed.k_nearest(q, 5)) << probe;
+    EXPECT_EQ(lazy.nodes_within(q, 60.0), warmed.nodes_within(q, 60.0))
+        << probe;
+  }
+}
+
+}  // namespace

@@ -25,6 +25,7 @@ RunRecord run_engine(const wsn::Domain& domain,
                      const std::vector<Vec2>& initial, double gamma,
                      LaacadConfig cfg) {
   wsn::Network net(&domain, initial, gamma);
+  cfg.retain_history = true;  // the comparison walks the full round record
   Engine engine(net, cfg);
   RunRecord rec;
   RunResult res = engine.run();
