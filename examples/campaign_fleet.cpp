@@ -5,7 +5,7 @@
 //   campaign_fleet <campaign-file> --shards N [--workers W] [--runner PATH]
 //                  [--max-restarts K] [--resume] [--merge-only]
 //                  [--manifest-dir DIR] [--json PATH] [--csv PATH]
-//                  [--manifest PATH] [--quiet]
+//                  [--manifest PATH] [--quiet] [--heartbeat] [--trace PATH]
 //
 // Spawns one `campaign_runner --shard i/N` process per shard (fork/exec of
 // the binary next to this one unless --runner overrides), streams each
@@ -31,6 +31,7 @@
 #include <string>
 
 #include "dist/fleet.hpp"
+#include "obs/trace.hpp"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -51,7 +52,12 @@ void usage(const char* argv0) {
       "  --resume          pass --resume to the first launch of every shard\n"
       "  --merge-only      skip launching; merge existing shard manifests\n"
       "  --manifest-dir DIR  where shard manifests live (default: cwd)\n"
-      "  --json/--csv/--manifest PATH  merged output paths\n",
+      "  --json/--csv/--manifest PATH  merged output paths\n"
+      "  --heartbeat       shards emit JSON heartbeats; the supervisor\n"
+      "                    consumes them and emits fleet-level heartbeats\n"
+      "                    (stderr) instead of scraping stdout\n"
+      "  --trace PATH      write a Chrome trace-event JSON with one span\n"
+      "                    per shard lifecycle (spawn to reap)\n",
       argv0);
 }
 
@@ -87,6 +93,7 @@ int parse_nonneg(const char* what, const char* v) {
 
 int main(int argc, char** argv) {
   laacad::dist::FleetOptions opt;
+  std::string trace_path;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     auto next_value = [&](const char* what) -> const char* {
@@ -98,6 +105,8 @@ int main(int argc, char** argv) {
     };
     if (flag == "--help" || flag == "-h") { usage(argv[0]); return 0; }
     else if (flag == "--quiet") opt.quiet = true;
+    else if (flag == "--heartbeat") opt.heartbeat = true;
+    else if (flag == "--trace") trace_path = next_value("--trace");
     else if (flag == "--resume") opt.resume = true;
     else if (flag == "--merge-only") opt.merge_only = true;
     else if (flag == "--shards")
@@ -123,5 +132,8 @@ int main(int argc, char** argv) {
   }
   if (opt.campaign_path.empty()) { usage(argv[0]); return 2; }
   if (opt.runner.empty()) opt.runner = sibling_runner(argv[0]);
-  return laacad::dist::run_fleet(opt);
+  if (!trace_path.empty()) laacad::obs::start_trace(trace_path);
+  const int status = laacad::dist::run_fleet(opt);
+  if (!trace_path.empty()) laacad::obs::stop_trace();
+  return status;
 }

@@ -5,6 +5,7 @@
 //   campaign_runner <campaign-file> [--workers N] [--trial-threads N]
 //                   [--resume] [--json PATH] [--csv PATH] [--manifest PATH]
 //                   [--shard i/N] [--dry-run] [--quiet]
+//                   [--trace PATH] [--heartbeat]
 //
 // The campaign format is documented in src/campaign/spec.hpp and the
 // README; shipped examples live in campaigns/. Outputs (defaults derive
@@ -26,12 +27,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "campaign/scheduler.hpp"
 #include "common/sysinfo.hpp"
 #include "common/table.hpp"
 #include "dist/partition.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -51,7 +55,11 @@ void usage(const char* argv0) {
       "  --shard i/N   run only this stride partition of the trial matrix,\n"
       "                journal to BENCH_campaign_<name>.shard-i-of-N.manifest,\n"
       "                emit no aggregates (merge shards with campaign_fleet)\n"
-      "  --dry-run     print the expanded trial matrix and exit\n",
+      "  --dry-run     print the expanded trial matrix and exit\n"
+      "  --trace PATH  write a Chrome trace-event JSON timeline (per-trial\n"
+      "                spans, engine round stages); BENCH outputs are\n"
+      "                byte-identical with or without it\n"
+      "  --heartbeat   emit one-line JSON progress heartbeats on stderr\n",
       argv0);
 }
 
@@ -70,9 +78,10 @@ std::string describe_point(
 int main(int argc, char** argv) {
   using namespace laacad;
 
-  std::string path, json_path, csv_path, manifest_path;
+  std::string path, json_path, csv_path, manifest_path, trace_path;
   campaign::CampaignOptions opt;
   bool dry_run = false, quiet = false, shard_given = false;
+  bool heartbeat = false;
   for (int a = 1; a < argc; ++a) {
     const std::string flag = argv[a];
     auto next_value = [&](const char* what) -> const char* {
@@ -105,6 +114,8 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (flag == "--trace") trace_path = next_value("--trace");
+    else if (flag == "--heartbeat") heartbeat = true;
     else if (flag == "--json") json_path = next_value("--json");
     else if (flag == "--csv") csv_path = next_value("--csv");
     else if (flag == "--manifest") manifest_path = next_value("--manifest");
@@ -148,15 +159,33 @@ int main(int argc, char** argv) {
                           ? dist::shard_manifest_path(name, opt.shard)
                           : "BENCH_campaign_" + name + ".manifest";
     opt.manifest_path = manifest_path;
-    if (!quiet) {
-      opt.on_trial = [](const campaign::TrialPoint& pt,
-                        const campaign::TrialResult& r, int done, int total) {
-        std::string status = r.ok ? "ok" : "FAILED";
-        if (!r.ok && !r.error.empty()) status += " — " + r.error;
-        std::printf("[%d/%d] trial %d (%s rep=%d): %s\n", done, total,
-                    pt.trial, describe_point(pt.values).c_str(), pt.rep,
-                    status.c_str());
-        std::fflush(stdout);
+    // Both progress channels ride the same callback (it runs under the
+    // scheduler lock, so the shared counters need no extra locking): the
+    // human table line on stdout, the machine heartbeat line on stderr.
+    std::shared_ptr<obs::HeartbeatEmitter> hb;
+    if (heartbeat) {
+      int owned = 0;
+      for (const auto& pt : campaign::expand_grid(spec))
+        if (dist::owns(opt.shard, pt.trial)) ++owned;
+      hb = std::make_shared<obs::HeartbeatEmitter>(
+          stderr, "campaign", name,
+          sharded ? dist::to_string(opt.shard) : std::string(), owned);
+    }
+    if (!quiet || hb) {
+      auto ok_count = std::make_shared<int>(0);
+      opt.on_trial = [quiet, hb, ok_count](const campaign::TrialPoint& pt,
+                                           const campaign::TrialResult& r,
+                                           int done, int total) {
+        if (r.ok) ++*ok_count;
+        if (!quiet) {
+          std::string status = r.ok ? "ok" : "FAILED";
+          if (!r.ok && !r.error.empty()) status += " — " + r.error;
+          std::printf("[%d/%d] trial %d (%s rep=%d): %s\n", done, total,
+                      pt.trial, describe_point(pt.values).c_str(), pt.rep,
+                      status.c_str());
+          std::fflush(stdout);
+        }
+        if (hb) hb->tick(done, *ok_count);
       };
     }
 
@@ -184,7 +213,14 @@ int main(int argc, char** argv) {
       table.print(std::cout);
       return 0;
     }
+    if (!trace_path.empty()) obs::start_trace(trace_path);
     result = scheduler.run();
+    if (!trace_path.empty()) {
+      const obs::TraceReport report = obs::stop_trace();
+      if (!quiet)
+        std::printf("trace: %s (%zu spans across %zu threads)\n",
+                    trace_path.c_str(), report.spans, report.threads);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_runner: %s\n", e.what());
     return 2;

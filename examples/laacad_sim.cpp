@@ -8,7 +8,8 @@
 //              [--rounds R] [--gamma G] [--domain square|lshape|cross]
 //              [--side METRES] [--hole] [--deploy uniform|corner|gaussian]
 //              [--backend global|localized] [--max-hops H] [--noise SIGMA]
-//              [--threads T] [--svg PREFIX] [--csv FILE] [--quiet]
+//              [--threads T] [--svg PREFIX] [--csv FILE] [--trace FILE]
+//              [--quiet]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "coverage/critical.hpp"
 #include "coverage/grid_checker.hpp"
 #include "laacad/engine.hpp"
+#include "obs/trace.hpp"
 #include "viz/render.hpp"
 #include "wsn/connectivity.hpp"
 #include "wsn/deployment.hpp"
@@ -46,6 +48,7 @@ struct Options {
   int threads = 1;  // 0 = hardware concurrency
   std::string svg_prefix;
   std::string csv_path;
+  std::string trace_path;
   bool quiet = false;
 };
 
@@ -55,7 +58,8 @@ void usage(const char* argv0) {
       "          [--rounds R] [--gamma G] [--domain square|lshape|cross]\n"
       "          [--side M] [--hole] [--deploy uniform|corner|gaussian]\n"
       "          [--backend global|localized] [--max-hops H] [--noise S]\n"
-      "          [--threads T] [--svg PREFIX] [--csv FILE] [--quiet]\n",
+      "          [--threads T] [--svg PREFIX] [--csv FILE] [--trace FILE]\n"
+      "          [--quiet]\n",
       argv0);
 }
 
@@ -85,6 +89,7 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--threads") { if (auto* v = next()) opt.threads = std::atoi(v); }
     else if (flag == "--svg") { if (auto* v = next()) opt.svg_prefix = v; }
     else if (flag == "--csv") { if (auto* v = next()) opt.csv_path = v; }
+    else if (flag == "--trace") { if (auto* v = next()) opt.trace_path = v; }
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -143,8 +148,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
     return 2;
   }
+  if (!opt.trace_path.empty()) obs::start_trace(opt.trace_path);
   core::Engine engine(net, cfg);
   const core::RunResult result = engine.run();
+  if (!opt.trace_path.empty()) {
+    const obs::TraceReport report = obs::stop_trace();
+    if (!opt.quiet)
+      std::printf("trace: %s (%zu spans across %zu threads)\n",
+                  opt.trace_path.c_str(), report.spans, report.threads);
+  }
 
   // -- Report --------------------------------------------------------------
   const auto exact =

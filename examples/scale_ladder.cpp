@@ -9,17 +9,21 @@
 //
 // Usage:
 //   scale_ladder [--campaign PATH] [--max-nodes N] [--budget PATH]
-//                [--json PATH] [--trial-threads N] [--quiet]
+//                [--json PATH] [--trial-threads N] [--trace PATH] [--quiet]
 //
 // --max-nodes caps which rungs run: ctest climbs to 10^5, the CI bench
 // job runs the full ladder. --budget loads campaigns/scale_ladder.budget;
-// dist2-evaluation budgets are enforced unconditionally (they are
-// deterministic and machine-independent, the same contract as the dist^2
-// regression gates), while wall-clock and RSS budgets apply only when
-// LAACAD_ENFORCE_BUDGET is set in the environment (CI runners), so
-// developer laptops never flake on a noisy neighbour. Counter budgets are
-// only checked for serial rungs (--trial-threads 1): the counters are
-// thread-local and a pooled engine accrues them on its workers.
+// dist2-evaluation budgets are enforced unconditionally for every
+// --trial-threads value (they are deterministic and machine-independent,
+// the same contract as the dist^2 regression gates — the thread pool folds
+// every worker chunk's counter delta back into the measuring thread, so
+// the totals are exact at any thread count), while wall-clock and RSS
+// budgets
+// apply only when LAACAD_ENFORCE_BUDGET is set in the environment (CI
+// runners), so developer laptops never flake on a noisy neighbour.
+// --trace writes one Chrome trace-event JSON per rung (path suffixed
+// _n<nodes>) and prints that rung's per-stage wall-clock breakdown (grid
+// rebuild, region fan-out, movement, ...) in the stdout summary.
 // Exit status 0 iff every rung ran ok and every enforced budget held.
 #include <algorithm>
 #include <chrono>
@@ -36,6 +40,8 @@
 #include "campaign/scheduler.hpp"
 #include "common/perf_counters.hpp"
 #include "common/sysinfo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -74,25 +80,40 @@ struct RungRow {
   double wall_ms = 0.0;
   double wall_ms_per_round = 0.0;
   std::uint64_t peak_rss = 0;
+  /// Exact global event totals for any --trial-threads value: the pool
+  /// folds worker-chunk counter deltas back into the measuring thread.
   std::uint64_t dist2_evals = 0;
   std::uint64_t grid_queries = 0;
-  bool counters_valid = false;  ///< serial rung, counters are complete
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--campaign PATH] [--max-nodes N] [--budget PATH]\n"
-      "          [--json PATH] [--trial-threads N] [--quiet]\n"
+      "          [--json PATH] [--trial-threads N] [--trace PATH] [--quiet]\n"
       "  --campaign PATH   ladder campaign file (default: embedded\n"
       "                    mirror of campaigns/scale_ladder.cmp)\n"
       "  --max-nodes N     skip rungs larger than N nodes\n"
-      "  --budget PATH     budget file; dist2 budgets always enforced,\n"
+      "  --budget PATH     budget file; dist2 budgets always enforced\n"
+      "                    (counters are exact at any thread count),\n"
       "                    wall/RSS only with LAACAD_ENFORCE_BUDGET set\n"
       "  --json PATH       output (default BENCH_scale_ladder.json)\n"
       "  --trial-threads N engine threads inside each rung (0 = hardware);\n"
-      "                    output bits never change, counters go unchecked\n"
-      "                    unless serial\n",
+      "                    output bits never change\n"
+      "  --trace PATH      per-rung Chrome trace JSON (suffix _n<nodes>)\n"
+      "                    plus a per-stage breakdown in the summary\n",
       argv0);
+}
+
+/// TRACE path for one rung: "_n<nodes>" before the extension, so a ladder
+/// run leaves TRACE_ladder_n1000.json, TRACE_ladder_n10000.json, ...
+std::string rung_trace_path(const std::string& base, long long n) {
+  const std::string suffix = "_n" + std::to_string(n);
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.find_last_of("/\\");
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
 std::vector<RungBudget> load_budget(const std::string& path) {
@@ -133,11 +154,10 @@ void write_json(const std::string& path, const std::vector<RungRow>& rows,
         << (r.ok ? "true" : "false") << ", \"rounds\": " << r.rounds
         << ", \"wall_ms\": " << r.wall_ms
         << ", \"wall_ms_per_round\": " << r.wall_ms_per_round
-        << ", \"peak_rss_bytes\": " << r.peak_rss;
-    if (r.counters_valid)
-      out << ", \"dist2_evals\": " << r.dist2_evals
-          << ", \"grid_queries\": " << r.grid_queries;
-    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"peak_rss_bytes\": " << r.peak_rss
+        << ", \"dist2_evals\": " << r.dist2_evals
+        << ", \"grid_queries\": " << r.grid_queries
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -148,6 +168,7 @@ int main(int argc, char** argv) {
   std::string campaign_path;
   std::string budget_path;
   std::string json_path = "BENCH_scale_ladder.json";
+  std::string trace_path;
   long long max_nodes = -1;
   int trial_threads = 1;
   bool quiet = false;
@@ -166,6 +187,7 @@ int main(int argc, char** argv) {
     else if (arg == "--budget") budget_path = next();
     else if (arg == "--json") json_path = next();
     else if (arg == "--trial-threads") trial_threads = std::atoi(next());
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
@@ -192,7 +214,6 @@ int main(int argc, char** argv) {
     std::vector<RungBudget> budgets;
     if (!budget_path.empty()) budgets = load_budget(budget_path);
     const bool enforce_env = std::getenv("LAACAD_ENFORCE_BUDGET") != nullptr;
-    const bool counters_valid = trial_threads == 1;
 
     std::vector<RungRow> rows;
     bool all_ok = true;
@@ -212,20 +233,31 @@ int main(int argc, char** argv) {
       campaign::CampaignOptions opt;
       opt.workers = 1;
       opt.trial_threads = trial_threads;
-      perf::counters().reset();
+      // workers == 1 keeps the trial on this thread, and the engine pool
+      // folds its worker chunks' counter deltas back here — so this scope
+      // reads exact global totals for any --trial-threads.
+      obs::Registry::instance().clear();
+      const obs::CounterScope counters;
+      if (!trace_path.empty())
+        obs::start_trace(rung_trace_path(trace_path, n));
       const auto t0 = std::chrono::steady_clock::now();
       campaign::CampaignScheduler scheduler(std::move(rung), std::move(opt));
       const campaign::CampaignResult result = scheduler.run();
       const auto t1 = std::chrono::steady_clock::now();
+      obs::TraceReport trace_report;
+      if (!trace_path.empty()) trace_report = obs::stop_trace();
 
       RungRow row;
       row.nodes = n;
       row.wall_ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
       row.peak_rss = common::peak_rss_bytes();
-      row.dist2_evals = perf::counters().dist2_evals;
-      row.grid_queries = perf::counters().grid_queries;
-      row.counters_valid = counters_valid;
+      const perf::KernelCounters rung_counters = counters.delta();
+      row.dist2_evals = rung_counters.dist2_evals;
+      row.grid_queries = rung_counters.grid_queries;
+      obs::Registry::instance().set_gauge(
+          "scale_ladder.peak_rss_mib",
+          static_cast<double>(row.peak_rss) / (1024.0 * 1024.0));
       const campaign::TrialResult& trial = result.trials.at(0);
       row.ok = trial.ok;
       row.error = trial.error;
@@ -243,19 +275,24 @@ int main(int argc, char** argv) {
       } else if (!quiet) {
         std::printf(
             "rung n=%-8lld %2d rounds  %9.1f ms (%8.1f ms/round)  "
-            "peak RSS %7.1f MiB",
+            "peak RSS %7.1f MiB  dist2/node %.0f\n",
             n, row.rounds, row.wall_ms, row.wall_ms_per_round,
-            static_cast<double>(row.peak_rss) / (1024.0 * 1024.0));
-        if (counters_valid)
-          std::printf("  dist2/node %.0f",
-                      static_cast<double>(row.dist2_evals) /
-                          static_cast<double>(n));
-        std::printf("\n");
+            static_cast<double>(row.peak_rss) / (1024.0 * 1024.0),
+            static_cast<double>(row.dist2_evals) / static_cast<double>(n));
+        // Per-stage breakdown from the rung's trace session, heaviest
+        // stage first. Wall-clock only — it never enters the BENCH json.
+        for (const auto& [stage, total] : trace_report.stages) {
+          if (stage == "round" || stage == "trial") continue;  // containers
+          std::printf("    stage %-14s %6llu spans %10.1f ms\n",
+                      stage.c_str(),
+                      static_cast<unsigned long long>(total.count),
+                      static_cast<double>(total.total_ns) / 1e6);
+        }
       }
 
       for (const RungBudget& b : budgets) {
         if (b.nodes != n) continue;
-        if (counters_valid && b.dist2_per_node > 0.0) {
+        if (b.dist2_per_node > 0.0) {
           const double per_node = static_cast<double>(row.dist2_evals) /
                                   static_cast<double>(n);
           if (per_node > b.dist2_per_node) {

@@ -2,7 +2,8 @@
 // BENCH_*.json metrics.
 //
 // Usage:
-//   scenario_runner <scenario-file> [--threads T] [--json PATH] [--quiet]
+//   scenario_runner <scenario-file> [--threads T] [--json PATH]
+//                   [--trace PATH] [--quiet]
 //
 // The scenario file format is documented in src/scenario/spec.hpp and the
 // README; shipped examples live in scenarios/. By default the metrics land
@@ -16,6 +17,7 @@
 
 #include "common/json_writer.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
@@ -23,11 +25,14 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <scenario-file> [--threads T] [--json PATH] [--dry-run] "
-      "[--quiet]\n"
+      "usage: %s <scenario-file> [--threads T] [--json PATH] [--trace PATH] "
+      "[--dry-run] [--quiet]\n"
       "  --threads T  override the spec's thread count (0 = hardware);\n"
       "               metrics are byte-identical for every value\n"
       "  --json PATH  metrics output (default BENCH_scenario_<name>.json)\n"
+      "  --trace PATH write a Chrome trace-event JSON timeline (phase,\n"
+      "               event, and engine round-stage spans); the BENCH json\n"
+      "               is byte-identical with or without it\n"
       "  --dry-run    parse + validate only; print the event timeline\n",
       argv0);
 }
@@ -97,7 +102,7 @@ void print_timeline(const laacad::scenario::ScenarioSpec& spec) {
 int main(int argc, char** argv) {
   using namespace laacad;
 
-  std::string path, json_path;
+  std::string path, json_path, trace_path;
   int threads = -1;  // -1 = keep the spec's value
   bool quiet = false, dry_run = false;
   for (int a = 1; a < argc; ++a) {
@@ -124,6 +129,13 @@ int main(int argc, char** argv) {
       }
       json_path = argv[++a];
     }
+    else if (flag == "--trace") {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "--trace expects a value\n");
+        return 2;
+      }
+      trace_path = argv[++a];
+    }
     else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -142,8 +154,15 @@ int main(int argc, char** argv) {
       print_timeline(spec);
       return 0;
     }
+    if (!trace_path.empty()) obs::start_trace(trace_path);
     scenario::ScenarioRunner runner(std::move(spec));
     result = runner.run();
+    if (!trace_path.empty()) {
+      const obs::TraceReport report = obs::stop_trace();
+      if (!quiet)
+        std::printf("trace: %s (%zu spans across %zu threads)\n",
+                    trace_path.c_str(), report.spans, report.threads);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());
     return 2;

@@ -13,6 +13,8 @@
 #include "common/json_writer.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace laacad::campaign {
 
@@ -287,12 +289,23 @@ CampaignResult CampaignScheduler::run() {
         if (q >= pending.size()) break;
         const TrialPoint& pt =
             points_[static_cast<std::size_t>(pending[q])];
-        TrialResult r = run_trial(spec_, pt, opt_.keep_history, opt_.probe,
-                                  opt_.trial_threads);
+        TrialResult r;
+        {
+          obs::ScopedSpan trial_span("trial", pt.trial);
+          r = run_trial(spec_, pt, opt_.keep_history, opt_.probe,
+                        opt_.trial_threads);
+        }
         store.record(r);
         std::lock_guard<std::mutex> g(lock);
         results[static_cast<std::size_t>(pt.trial)] = std::move(r);
         ++done;
+        // Gauge, not counter: the last write wins, which is exactly the
+        // "how deep is the queue right now" question the value answers.
+        if (obs::enabled())
+          obs::Registry::instance().set_gauge(
+              "campaign.queue_depth",
+              static_cast<double>(pending.size() -
+                                  std::min(next.load(), pending.size())));
         if (opt_.on_trial)
           opt_.on_trial(pt, results[static_cast<std::size_t>(pt.trial)],
                         done, shard_total);

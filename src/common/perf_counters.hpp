@@ -11,9 +11,13 @@
 // tests assert reduction ratios on fixed configurations.
 //
 // Threading: each thread owns an independent block, so the counts a kernel
-// call produces land on the calling thread. Code that fans region
-// computations across a pool must aggregate per worker if it wants totals;
-// the benches and tests pin their measured kernels to one thread instead.
+// call produces land on the calling thread. common::ThreadPool::run()
+// closes the fan-out gap: it snapshots each worker chunk's block around the
+// chunk and folds the deltas into the *calling* thread's block after the
+// join (uint64 addition commutes, so the fold is deterministic for any
+// chunk schedule). A caller that brackets a parallel_for with snapshots of
+// its own block therefore reads exact global totals for any thread count —
+// see obs::CounterScope for the snapshot-delta reader.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,30 @@ struct KernelCounters {
   std::uint64_t kernel_fallbacks = 0;  ///< grid kernel exhausted every site
 
   void reset() { *this = KernelCounters{}; }
+
+  /// Fold another block (typically a worker chunk's delta) into this one.
+  void add(const KernelCounters& o) {
+    dist2_evals += o.dist2_evals;
+    clip_calls += o.clip_calls;
+    ring_allocs += o.ring_allocs;
+    grid_queries += o.grid_queries;
+    cells_built += o.cells_built;
+    kernel_fallbacks += o.kernel_fallbacks;
+  }
+
+  /// Field-wise difference against an earlier snapshot of the same block.
+  /// Counters are monotonic between resets, so this is the event count in
+  /// the bracketed region.
+  KernelCounters diff(const KernelCounters& before) const {
+    KernelCounters d;
+    d.dist2_evals = dist2_evals - before.dist2_evals;
+    d.clip_calls = clip_calls - before.clip_calls;
+    d.ring_allocs = ring_allocs - before.ring_allocs;
+    d.grid_queries = grid_queries - before.grid_queries;
+    d.cells_built = cells_built - before.cells_built;
+    d.kernel_fallbacks = kernel_fallbacks - before.kernel_fallbacks;
+    return d;
+  }
 };
 
 /// The calling thread's counter block.

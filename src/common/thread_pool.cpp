@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace laacad::common {
 
 namespace {
@@ -38,6 +40,11 @@ void ThreadPool::run_chunk(int chunk) {
   const long long n = job_n_, chunks = job_chunks_;
   const int begin = static_cast<int>(chunk * n / chunks);
   const int end = static_cast<int>((chunk + 1) * n / chunks);
+  // Bracket the chunk with a counter snapshot so run() can fold worker
+  // deltas into the caller's block — the delta is computed even when the
+  // chunk throws (events before the throw really happened).
+  const perf::KernelCounters before = perf::counters();
+  obs::ScopedSpan span("pool_chunk", chunk);
   tls_in_chunk = true;
   try {
     for (int i = begin; i < end; ++i) (*job_fn_)(i);
@@ -46,6 +53,8 @@ void ThreadPool::run_chunk(int chunk) {
     errors_[static_cast<std::size_t>(chunk)] = std::current_exception();
   }
   tls_in_chunk = false;
+  counter_deltas_[static_cast<std::size_t>(chunk)] =
+      perf::counters().diff(before);
 }
 
 void ThreadPool::worker_loop(int worker_index) {
@@ -80,6 +89,8 @@ void ThreadPool::run(int n, const std::function<void(int)>& fn) {
     job_chunks_ = chunks;
     job_fn_ = &fn;
     errors_.assign(static_cast<std::size_t>(chunks), nullptr);
+    counter_deltas_.assign(static_cast<std::size_t>(chunks),
+                           perf::KernelCounters{});
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
   }
@@ -92,6 +103,12 @@ void ThreadPool::run(int n, const std::function<void(int)>& fn) {
     cv_done_.wait(lk, [&] { return pending_ == 0; });
     job_fn_ = nullptr;
   }
+  // Fold the worker chunks' counter deltas into this (the calling) thread's
+  // block. Chunk 0 ran here and already accrued in place. The fold order is
+  // fixed but irrelevant: uint64 sums commute, so totals are bit-equal to a
+  // serial run for every thread count.
+  for (std::size_t c = 1; c < counter_deltas_.size(); ++c)
+    perf::counters().add(counter_deltas_[c]);
   for (std::exception_ptr& e : errors_) {
     if (e) std::rethrow_exception(e);
   }

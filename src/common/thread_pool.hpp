@@ -8,6 +8,14 @@
 // of (n, thread count), so scheduling can never reorder side effects within
 // a chunk, and callers that write results by index get identical memory
 // contents for every thread count (including 1).
+//
+// Observability: run() captures the perf::KernelCounters delta of every
+// worker chunk and folds the deltas into the *calling* thread's counter
+// block after the join. uint64 addition commutes, so the fold is
+// deterministic for any chunk schedule — a caller that snapshots its own
+// block around run() reads exact global event totals for any thread count,
+// identical to a serial run. Each chunk also emits a "pool_chunk" trace
+// span on its executing thread when the obs tracer is enabled.
 #pragma once
 
 #include <condition_variable>
@@ -16,6 +24,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/perf_counters.hpp"
 
 namespace laacad::common {
 
@@ -64,6 +74,10 @@ class ThreadPool {
   int pending_ = 0;
   const std::function<void(int)>* job_fn_ = nullptr;
   std::vector<std::exception_ptr> errors_;
+  /// Per-chunk KernelCounters deltas; chunks >= 1 (the worker chunks) are
+  /// folded into the caller's thread-local block after the join. Chunk 0
+  /// runs on the caller, whose block accrues it directly.
+  std::vector<perf::KernelCounters> counter_deltas_;
 };
 
 /// Convenience: fn(i) for i in [0, n) on `pool`, or serially on the calling

@@ -1,11 +1,15 @@
 #include "dist/fleet.hpp"
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #ifndef _WIN32
@@ -17,6 +21,8 @@
 #include "campaign/spec.hpp"
 #include "dist/merge.hpp"
 #include "dist/partition.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/trace.hpp"
 
 namespace laacad::dist {
 
@@ -33,6 +39,52 @@ struct Worker {
   std::string buf;      ///< carry-over for partial lines
   int restarts = 0;
   bool done = false;
+  /// Last campaign heartbeat consumed from this shard (all zero until the
+  /// first one lands). Survives restarts: --resume re-runs only missing
+  /// trials, so the next heartbeat's `done` supersedes these monotonically.
+  int hb_done = 0, hb_total = 0, hb_ok = 0;
+  std::chrono::steady_clock::time_point spawned;  ///< for the shard span
+};
+
+/// Fleet-level heartbeat state: folds the shards' campaign heartbeats into
+/// `{"hb":"fleet"}` lines on the supervisor's stderr.
+struct FleetBeat {
+  obs::Heartbeat hb;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  explicit FleetBeat(std::string name) {
+    hb.kind = "fleet";
+    hb.name = std::move(name);
+  }
+
+  void emit(const std::vector<Worker>& workers) {
+    int done = 0, total = 0, ok = 0, live = 0;
+    for (const Worker& w : workers) {
+      done += w.hb_done;
+      total += w.hb_total;
+      ok += w.hb_ok;
+      if (w.fd >= 0) ++live;
+    }
+    hb.done = done;
+    hb.total = total;
+    hb.ok = ok;
+    hb.live = live;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    hb.rate_per_s = elapsed > 0.0 ? done / elapsed : 0.0;
+    hb.eta_s = hb.rate_per_s > 0.0 ? (total - done) / hb.rate_per_s
+                                   : std::nan("");
+    hb.ts_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const std::string line = obs::format_heartbeat(hb);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
 };
 
 /// Fork/exec one shard of the campaign; the child's stdout and stderr are
@@ -63,6 +115,7 @@ void spawn(const FleetOptions& opt, Worker& w, bool resume) {
         "--manifest",         w.manifest.c_str(),
     };
     if (resume) argv.push_back("--resume");
+    if (opt.heartbeat) argv.push_back("--heartbeat");
     argv.push_back(nullptr);
     execv(opt.runner.c_str(), const_cast<char* const*>(argv.data()));
     // Only reached when exec failed; report through the pipe and die with
@@ -75,28 +128,59 @@ void spawn(const FleetOptions& opt, Worker& w, bool resume) {
   w.pid = pid;
   w.fd = fds[0];
   w.buf.clear();
+  w.spawned = std::chrono::steady_clock::now();
 }
 
-/// Print complete lines from the worker's buffer, prefixed with its shard.
-void flush_lines(Worker& w, bool quiet, bool final) {
-  if (quiet) {
-    w.buf.clear();
-    return;
-  }
+/// Relay one line of shard output as a single atomic write: the whole
+/// timestamped, prefixed line is built in one buffer and handed to the OS
+/// in one fwrite, so lines from different shards (and the supervisor's own
+/// messages) can interleave only at line granularity, never mid-line.
+void relay_line(const Worker& w, std::string_view line) {
+  char stamp[16];
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm);
+  std::string out;
+  out.reserve(line.size() + 32);
+  out += '[';
+  out += stamp;
+  out += " shard ";
+  out += to_string(w.shard);
+  out += "] ";
+  out.append(line.data(), line.size());
+  out += '\n';
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  std::fflush(stdout);
+}
+
+/// Drain complete lines from the worker's buffer: consume heartbeats into
+/// the worker's progress fields, relay everything else (unless quiet).
+/// Returns true when at least one heartbeat was consumed, so the caller
+/// can fold an updated fleet heartbeat.
+bool flush_lines(Worker& w, const FleetOptions& opt, bool final) {
+  bool beat = false;
   std::size_t start = 0;
   for (std::size_t i = 0; i < w.buf.size(); ++i) {
     if (w.buf[i] != '\n') continue;
-    std::printf("[shard %s] %.*s\n", to_string(w.shard).c_str(),
-                static_cast<int>(i - start), w.buf.data() + start);
+    const std::string_view line(w.buf.data() + start, i - start);
     start = i + 1;
+    obs::Heartbeat hb;
+    if (opt.heartbeat && obs::parse_heartbeat(line, &hb)) {
+      w.hb_done = hb.done;
+      w.hb_total = hb.total;
+      w.hb_ok = hb.ok;
+      beat = true;
+      continue;  // consumed: structured progress never reaches stdout
+    }
+    if (!opt.quiet) relay_line(w, line);
   }
   w.buf.erase(0, start);
   if (final && !w.buf.empty()) {
-    std::printf("[shard %s] %s\n", to_string(w.shard).c_str(),
-                w.buf.c_str());
+    if (!opt.quiet) relay_line(w, w.buf);
     w.buf.clear();
   }
-  std::fflush(stdout);
+  return beat;
 }
 
 void terminate_all(std::vector<Worker>& workers) {
@@ -152,6 +236,7 @@ int run_fleet(const FleetOptions& opt) {
     // Supervision loop: stream output, reap exits, restart crashes with
     // --resume (the journal makes restarts cheap: only unfinished trials
     // re-run). Runs until every shard has exited cleanly or crashed out.
+    FleetBeat beat(spec.name);
     bool infra_failure = false;
     while (!infra_failure) {
       std::vector<pollfd> fds;
@@ -177,13 +262,18 @@ int run_fleet(const FleetOptions& opt) {
         if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
         if (n > 0) {
           w.buf.append(chunk, static_cast<std::size_t>(n));
-          flush_lines(w, opt.quiet, false);
+          if (flush_lines(w, opt, false)) beat.emit(workers);
           continue;
         }
         // EOF: the child is gone (or closed its pipe); reap and decide.
-        flush_lines(w, opt.quiet, true);
+        const bool had_beat = flush_lines(w, opt, true);
         close(w.fd);
         w.fd = -1;
+        if (had_beat) beat.emit(workers);
+        // Shard lifecycle span (spawn -> reap) on the supervisor's
+        // timeline; a no-op unless the caller started a trace session.
+        obs::emit_span("shard", w.spawned,
+                       std::chrono::steady_clock::now(), w.shard.index);
         int status = 0;
         waitpid(w.pid, &status, 0);
         w.pid = -1;

@@ -3,12 +3,20 @@
 //
 // Each worker is a fork/exec of `campaign_runner --shard i/N`, journaling
 // into its own shard manifest; the supervisor streams every worker's
-// output (prefixed "[shard i/N]"), restarts a *crashed* shard (killed by a
-// signal — OOM, ^C on the child, machine hiccup) with `--resume` so it
-// re-runs only the trials its journal is missing, and finally merges via
-// dist::merge_manifests. A shard that exits cleanly with failing trials is
-// NOT restarted: trials are deterministic, so a re-run would fail the same
-// way — the failure belongs in the aggregates, not in a retry loop.
+// output (each relayed line is one timestamped atomic write, prefixed
+// "[HH:MM:SS shard i/N]", so concurrent shards never shear each other's
+// lines), restarts a *crashed* shard (killed by a signal — OOM, ^C on the
+// child, machine hiccup) with `--resume` so it re-runs only the trials its
+// journal is missing, and finally merges via dist::merge_manifests. A
+// shard that exits cleanly with failing trials is NOT restarted: trials
+// are deterministic, so a re-run would fail the same way — the failure
+// belongs in the aggregates, not in a retry loop.
+//
+// With `heartbeat` set the shards run with --heartbeat and the supervisor
+// *consumes* their `{"hb":"campaign"}` stderr lines off the relay pipe
+// (structured progress, not stdout scraping), folding them into
+// `{"hb":"fleet"}` lines on its own stderr that carry fleet-wide
+// done/total/ok plus per-shard liveness.
 //
 // Host-spanning campaigns use the same machinery without the supervisor:
 // run `campaign_runner --shard i/N` per host, rsync the shard manifests to
@@ -33,6 +41,10 @@ struct FleetOptions {
   std::string json_path, csv_path, merged_manifest_path;
   bool merge_only = false;  ///< skip launching; merge existing manifests
   bool quiet = false;       ///< suppress shard output streaming
+  /// Run shards with --heartbeat and emit fleet-level heartbeat lines on
+  /// stderr (see the header comment). Heartbeats are consumed even under
+  /// `quiet` — they are the machine channel, not chatter.
+  bool heartbeat = false;
 };
 
 /// Launch, supervise, merge. Returns the process exit status: 0 when every

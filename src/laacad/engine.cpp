@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace laacad::core {
 
 using geom::Vec2;
@@ -93,6 +95,7 @@ struct NodeRound {
 RoundMetrics Engine::step() {
   RoundMetrics m;
   m.round = ++round_;
+  obs::ScopedSpan round_span("round", m.round);
 
   // Serial snapshot phase, then the embarrassingly parallel per-node phase.
   // Each slot of `rounds`/`stats` is written by exactly one index, so the
@@ -100,39 +103,51 @@ RoundMetrics Engine::step() {
   // walk them in node order, making metrics bit-identical for every thread
   // count. Providers that query the network's spatial index warm it during
   // begin_round (and Network::grid() is safe under concurrent readers
-  // regardless).
+  // regardless). The "grid_rebuild" span inside the providers covers the
+  // index rebuild; this one covers the full snapshot.
   snapshot_round();
   const int n = net_->size();
   std::vector<NodeRound> rounds(static_cast<std::size_t>(n));
   std::vector<wsn::CommStats> stats(static_cast<std::size_t>(n));
-  common::parallel_for(pool_.get(), n, [&](int i) {
-    RegionOutput out = provider_->compute(i);
-    stats[static_cast<std::size_t>(i)] = out.comm;
-    const DominatingRegion region(out.cells, net_->domain());
-    NodeRound& r = rounds[static_cast<std::size_t>(i)];
-    if (region.empty()) return;  // no feasible region: hold position
-    const geom::Circle cheb = region.chebyshev();
-    if (!cheb.valid()) return;
-    r.target = cheb.center;
-    r.cheb_radius = cheb.radius;
-    r.hat_radius = region.max_dist_from(net_->position(i));
-    r.has_target = true;
-  });
-
-  for (int i = 0; i < n; ++i) m.comm.merge(stats[static_cast<std::size_t>(i)]);
-
-  m.min_circumradius = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < n; ++i) {
-    const NodeRound& r = rounds[static_cast<std::size_t>(i)];
-    if (!r.has_target) continue;
-    m.max_circumradius = std::max(m.max_circumradius, r.cheb_radius);
-    m.min_circumradius = std::min(m.min_circumradius, r.cheb_radius);
-    m.max_hat_radius = std::max(m.max_hat_radius, r.hat_radius);
+  {
+    obs::ScopedSpan s("region_fanout");
+    common::parallel_for(pool_.get(), n, [&](int i) {
+      RegionOutput out = provider_->compute(i);
+      stats[static_cast<std::size_t>(i)] = out.comm;
+      const DominatingRegion region(out.cells, net_->domain());
+      NodeRound& r = rounds[static_cast<std::size_t>(i)];
+      if (region.empty()) return;  // no feasible region: hold position
+      const geom::Circle cheb = region.chebyshev();
+      if (!cheb.valid()) return;
+      r.target = cheb.center;
+      r.cheb_radius = cheb.radius;
+      r.hat_radius = region.max_dist_from(net_->position(i));
+      r.has_target = true;
+    });
   }
-  if (m.min_circumradius == std::numeric_limits<double>::infinity())
-    m.min_circumradius = 0.0;
+
+  {
+    obs::ScopedSpan s("comm_gather");
+    for (int i = 0; i < n; ++i)
+      m.comm.merge(stats[static_cast<std::size_t>(i)]);
+  }
+
+  {
+    obs::ScopedSpan s("targets");
+    m.min_circumradius = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      const NodeRound& r = rounds[static_cast<std::size_t>(i)];
+      if (!r.has_target) continue;
+      m.max_circumradius = std::max(m.max_circumradius, r.cheb_radius);
+      m.min_circumradius = std::min(m.min_circumradius, r.cheb_radius);
+      m.max_hat_radius = std::max(m.max_hat_radius, r.hat_radius);
+    }
+    if (m.min_circumradius == std::numeric_limits<double>::infinity())
+      m.min_circumradius = 0.0;
+  }
 
   // Synchronized position update (Algorithm 1 lines 4-6).
+  obs::ScopedSpan move_span("movement");
   for (int i = 0; i < n; ++i) {
     const NodeRound& r = rounds[static_cast<std::size_t>(i)];
     if (!r.has_target) continue;

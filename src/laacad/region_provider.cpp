@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "voronoi/sites.hpp"
 
 namespace laacad::core {
@@ -41,7 +42,10 @@ void GlobalRegionProvider::begin_round(wsn::Network& net, int k,
   }
   k_ = k;
   sites_ = vor::separate_sites(net.positions());
-  grid_.rebuild(sites_, std::max(net.gamma(), 1.0), pool);
+  {
+    obs::ScopedSpan span("grid_rebuild", net.size());
+    grid_.rebuild(sites_, std::max(net.gamma(), 1.0), pool);
+  }
   bbox_ = net.domain().bbox();
 }
 
@@ -67,7 +71,10 @@ void LocalizedRegionProvider::begin_round(wsn::Network& net, int k,
   // Warm the spatial index with the lent pool (bit-identical re-bin for any
   // thread count), then boundary verdicts (they query that index), then the
   // connectivity snapshot the gathers run over.
-  net.warm_grid(pool);
+  {
+    obs::ScopedSpan span("grid_rebuild", net.size());
+    net.warm_grid(pool);
+  }
   boundaries_ = wsn::detect_all_boundaries(net, cfg_.boundary);
   comm_.emplace(net);
 }

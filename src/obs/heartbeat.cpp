@@ -1,0 +1,166 @@
+#include "obs/heartbeat.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace laacad::obs {
+
+namespace {
+
+constexpr std::string_view kPrefix = "{\"hb\":";
+
+/// Locate `"key":` at top level of our fixed-format line and return the
+/// offset of its value, or npos. The only string values we emit are kind /
+/// name / shard; name is JSON-escaped, so a quote inside it is always
+/// preceded by a backslash — the scanner below skips escaped quotes, which
+/// keeps key matches out of string bodies.
+std::size_t value_offset(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      if (line.compare(i, needle.size(), needle) == 0)
+        return i + needle.size();
+      in_string = true;
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool parse_string(std::string_view line, std::string_view key,
+                  std::string* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '"')
+    return false;
+  std::string s;
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      *out = std::move(s);
+      return true;
+    }
+    if (c == '\\' && i + 1 < line.size()) {
+      const char e = line[++i];
+      switch (e) {
+        case 'n': s += '\n'; break;
+        case 't': s += '\t'; break;
+        case 'r': s += '\r'; break;
+        default: s += e; break;  // \" \\ \/ and anything exotic: literal
+      }
+    } else {
+      s += c;
+    }
+  }
+  return false;  // unterminated string
+}
+
+bool parse_number(std::string_view line, std::string_view key, double* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos || at >= line.size()) return false;
+  if (line.compare(at, 4, "null") == 0) {
+    *out = std::nan("");
+    return true;
+  }
+  // strtod needs a terminated buffer; numbers are short.
+  char buf[64];
+  std::size_t n = 0;
+  for (std::size_t i = at; i < line.size() && n + 1 < sizeof(buf); ++i) {
+    const char c = line[i];
+    if ((c < '0' || c > '9') && c != '-' && c != '+' && c != '.' &&
+        c != 'e' && c != 'E')
+      break;
+    buf[n++] = c;
+  }
+  if (n == 0) return false;
+  buf[n] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + n;
+}
+
+}  // namespace
+
+std::string format_heartbeat(const Heartbeat& hb) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.kv("hb", hb.kind);
+  w.kv("name", hb.name);
+  if (!hb.shard.empty()) w.kv("shard", hb.shard);
+  w.kv("done", hb.done);
+  w.kv("total", hb.total);
+  w.kv("ok", hb.ok);
+  if (hb.live >= 0) w.kv("live", hb.live);
+  w.kv("rate_per_s", hb.rate_per_s);  // NaN -> null by JsonWriter
+  w.kv("eta_s", hb.eta_s);
+  w.kv("ts_ms", hb.ts_ms);
+  w.end_object();
+  std::string s = out.str();
+  s += '\n';
+  return s;
+}
+
+bool is_heartbeat_line(std::string_view line) {
+  return line.compare(0, kPrefix.size(), kPrefix) == 0;
+}
+
+bool parse_heartbeat(std::string_view line, Heartbeat* out) {
+  if (!is_heartbeat_line(line)) return false;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.remove_suffix(1);
+  Heartbeat hb;
+  if (!parse_string(line, "hb", &hb.kind) || hb.kind.empty()) return false;
+  parse_string(line, "name", &hb.name);
+  parse_string(line, "shard", &hb.shard);
+  double v = 0.0;
+  if (parse_number(line, "done", &v)) hb.done = static_cast<int>(v);
+  if (parse_number(line, "total", &v)) hb.total = static_cast<int>(v);
+  if (parse_number(line, "ok", &v)) hb.ok = static_cast<int>(v);
+  if (parse_number(line, "live", &v)) hb.live = static_cast<int>(v);
+  if (parse_number(line, "rate_per_s", &v)) hb.rate_per_s = v;
+  if (parse_number(line, "eta_s", &v)) hb.eta_s = v;
+  if (parse_number(line, "ts_ms", &v)) hb.ts_ms = static_cast<std::uint64_t>(v);
+  *out = std::move(hb);
+  return true;
+}
+
+HeartbeatEmitter::HeartbeatEmitter(std::FILE* sink, std::string kind,
+                                   std::string name, std::string shard,
+                                   int total)
+    : sink_(sink), start_(std::chrono::steady_clock::now()) {
+  hb_.kind = std::move(kind);
+  hb_.name = std::move(name);
+  hb_.shard = std::move(shard);
+  hb_.total = total;
+}
+
+void HeartbeatEmitter::tick(int done, int ok) {
+  hb_.done = done;
+  hb_.ok = ok;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  hb_.rate_per_s = elapsed > 0.0 ? done / elapsed : 0.0;
+  hb_.eta_s = hb_.rate_per_s > 0.0 ? (hb_.total - done) / hb_.rate_per_s
+                                   : std::nan("");
+  hb_.ts_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const std::string line = format_heartbeat(hb_);
+  // One write per line: heartbeats from concurrent processes interleave at
+  // line granularity, never mid-line.
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+}
+
+}  // namespace laacad::obs

@@ -1,0 +1,51 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace laacad::obs {
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, double> gauges;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  i.gauges[name] = value;
+}
+
+double Registry::gauge(const std::string& name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  const auto it = i.gauges.find(name);
+  return it == i.gauges.end() ? std::numeric_limits<double>::quiet_NaN()
+                              : it->second;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  return {i.gauges.begin(), i.gauges.end()};
+}
+
+void Registry::clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  i.gauges.clear();
+}
+
+}  // namespace laacad::obs

@@ -10,6 +10,7 @@
 
 #include "common/json_writer.hpp"
 #include "coverage/grid_checker.hpp"
+#include "obs/trace.hpp"
 #include "wsn/connectivity.hpp"
 #include "wsn/deployment.hpp"
 #include "wsn/energy.hpp"
@@ -181,6 +182,7 @@ ScenarioRunner::~ScenarioRunner() = default;
 
 PhaseRecord ScenarioRunner::run_phase(int phase_idx, const std::string& cause,
                                       int next_event) {
+  obs::ScopedSpan phase_span("phase", phase_idx);
   PhaseRecord rec;
   rec.phase = phase_idx;
   rec.cause = cause;
@@ -249,6 +251,7 @@ void ScenarioRunner::remove_nodes_desc(std::vector<int> ids) {
 }
 
 EventRecord ScenarioRunner::apply_event(const Event& ev, int index) {
+  obs::ScopedSpan event_span("event", index);
   EventRecord rec;
   rec.index = index;
   rec.type = to_string(ev.type);
