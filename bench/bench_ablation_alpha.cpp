@@ -2,44 +2,81 @@
 // speed against motion smoothness — "smaller alpha leads to slower
 // convergence but smoother motion trace" — while the converged quality is
 // essentially alpha-independent (Prop. 4 holds for all alpha in (0,1]).
+//
+// The sweep runs through the campaign engine (the same grid ships as
+// campaigns/alpha_ablation.cmp): five seeds per alpha instead of the old
+// single hand-rolled run, trials sharded across LAACAD_THREADS workers,
+// every column a group aggregate (mean ± CI from the campaign machinery)
+// rather than a one-seed point estimate. The travel column is the real
+// per-trial sum of max displacements (the campaign's `travel` metric), not
+// a history walk.
+#include <fstream>
+
 #include "bench_common.hpp"
-#include "laacad/engine.hpp"
-#include "wsn/deployment.hpp"
+#include "campaign/scheduler.hpp"
 
 namespace {
 
 using namespace laacad;
 
+// Mirror of campaigns/alpha_ablation.cmp so the binary is self-contained.
+constexpr const char* kCampaignSpec = R"(
+name      alpha_ablation
+trials    5
+seed      31
+domain    square
+side      500
+deploy    uniform
+nodes     60
+k         2
+epsilon   0.5
+max_rounds 500
+grid_resolution 10
+sweep alpha 0.2 0.4 0.6 0.8 1.0
+)";
+
+struct Row {};  // all columns come from the campaign aggregates
+
 void experiment() {
-  wsn::Domain domain = wsn::Domain::rectangle(500, 500);
-  Rng rng(31);
-  const auto initial = wsn::deploy_uniform(domain, 60, rng);
+  std::vector<Row> rows;
+  auto result = benchutil::run_campaign_with_probe(
+      campaign::parse_campaign_string(kCampaignSpec), rows,
+      [](const campaign::TrialPoint&, const scenario::ScenarioRunner&,
+         const scenario::ScenarioResult&) {});
+
+  const std::size_t i_rounds = campaign::metric_index("total_rounds");
+  const std::size_t i_rstar = campaign::metric_index("max_range");
+  const std::size_t i_rmin = campaign::metric_index("min_range");
+  const std::size_t i_travel = campaign::metric_index("travel");
 
   TextTable table({"alpha", "rounds to converge", "R* (m)", "min range (m)",
-                   "total travel (m, max over nodes proxy)"});
-  for (double alpha : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    wsn::Network net(&domain, initial, 100.0);
-    core::LaacadConfig cfg;
-    cfg.k = 2;
-    cfg.alpha = alpha;
-    cfg.epsilon = 0.5;
-    cfg.max_rounds = 500;
-    cfg.retain_history = true;  // travel summed from the round record
-    core::Engine engine(net, cfg);
-    const auto result = engine.run();
-    double travel = 0.0;
-    for (const auto& m : result.history) travel += m.max_move;
-    table.add_row({TextTable::num(alpha, 1), std::to_string(result.rounds),
-                   TextTable::num(result.final_max_range, 2),
-                   TextTable::num(result.final_min_range, 2),
-                   TextTable::num(travel, 1)});
+                   "total travel (m, max-move sum)"});
+  for (const campaign::GroupAggregate& g : result.groups) {
+    if (g.ok < g.trials) {
+      benchutil::TableSink::instance().note(
+          "alpha ablation: " + std::to_string(g.trials - g.ok) +
+          " trial(s) failed at point " + std::to_string(g.point));
+    }
+    std::string alpha = "?";
+    for (const auto& [axis, value] : g.values)
+      if (axis == "alpha") alpha = value;
+    table.add_row({alpha, TextTable::num(g.metrics[i_rounds].mean, 1),
+                   TextTable::num(g.metrics[i_rstar].mean, 2),
+                   TextTable::num(g.metrics[i_rmin].mean, 2),
+                   TextTable::num(g.metrics[i_travel].mean, 1)});
   }
   benchutil::TableSink::instance().add(
-      "Ablation — step size alpha (60 nodes, k = 2, 500 m square)",
+      "Ablation — step size alpha (60 nodes, k = 2, 500 m square, "
+      "mean over 5 seeds)",
       std::move(table));
   benchutil::TableSink::instance().note(
       "Expected: rounds decrease as alpha grows; R* is nearly flat "
       "(convergence guaranteed for all alpha in (0,1]).");
+
+  std::ofstream json("BENCH_campaign_alpha_ablation.json");
+  if (json) result.write_json(json);
+  benchutil::TableSink::instance().note(
+      "campaign aggregates: BENCH_campaign_alpha_ablation.json");
 }
 
 }  // namespace

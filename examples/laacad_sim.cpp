@@ -9,12 +9,13 @@
 //              [--side METRES] [--hole] [--deploy uniform|corner|gaussian]
 //              [--backend global|localized] [--max-hops H] [--noise SIGMA]
 //              [--threads T] [--svg PREFIX] [--csv FILE] [--trace FILE]
-//              [--quiet]
+//              [--heartbeat] [--quiet]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "coverage/critical.hpp"
 #include "coverage/grid_checker.hpp"
 #include "laacad/engine.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/trace.hpp"
 #include "viz/render.hpp"
 #include "wsn/connectivity.hpp"
@@ -49,6 +51,7 @@ struct Options {
   std::string svg_prefix;
   std::string csv_path;
   std::string trace_path;
+  bool heartbeat = false;
   bool quiet = false;
 };
 
@@ -59,7 +62,7 @@ void usage(const char* argv0) {
       "          [--side M] [--hole] [--deploy uniform|corner|gaussian]\n"
       "          [--backend global|localized] [--max-hops H] [--noise S]\n"
       "          [--threads T] [--svg PREFIX] [--csv FILE] [--trace FILE]\n"
-      "          [--quiet]\n",
+      "          [--heartbeat] [--quiet]\n",
       argv0);
 }
 
@@ -71,6 +74,7 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (flag == "--help" || flag == "-h") return false;
     else if (flag == "--quiet") opt.quiet = true;
+    else if (flag == "--heartbeat") opt.heartbeat = true;
     else if (flag == "--hole") opt.hole = true;
     else if (const char* v = nullptr; false) { (void)v; }
     else if (flag == "--k") { if (auto* v = next()) opt.k = std::atoi(v); }
@@ -147,6 +151,17 @@ int main(int argc, char** argv) {
   } else if (opt.backend != "global") {
     std::fprintf(stderr, "unknown backend '%s'\n", opt.backend.c_str());
     return 2;
+  }
+  // --heartbeat streams one {"hb":"engine",...} line per round to stderr:
+  // done = rounds executed, total = the round cap, ok = 1 once movement
+  // stopped. Same schema campaign_fleet already consumes.
+  std::unique_ptr<obs::HeartbeatEmitter> heartbeat;
+  if (opt.heartbeat) {
+    heartbeat = std::make_unique<obs::HeartbeatEmitter>(
+        stderr, "engine", "laacad_sim", /*shard=*/"", opt.rounds);
+    cfg.on_round = [&heartbeat](const core::RoundMetrics& m) {
+      heartbeat->tick(m.round, m.moved == 0 ? 1 : 0);
+    };
   }
   if (!opt.trace_path.empty()) obs::start_trace(opt.trace_path);
   core::Engine engine(net, cfg);

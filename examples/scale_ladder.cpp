@@ -33,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "campaign/scheduler.hpp"
 #include "common/perf_counters.hpp"
 #include "common/sysinfo.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -89,7 +91,8 @@ struct RungRow {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--campaign PATH] [--max-nodes N] [--budget PATH]\n"
-      "          [--json PATH] [--trial-threads N] [--trace PATH] [--quiet]\n"
+      "          [--json PATH] [--trial-threads N] [--trace PATH]\n"
+      "          [--heartbeat] [--quiet]\n"
       "  --campaign PATH   ladder campaign file (default: embedded\n"
       "                    mirror of campaigns/scale_ladder.cmp)\n"
       "  --max-nodes N     skip rungs larger than N nodes\n"
@@ -100,7 +103,9 @@ void usage(const char* argv0) {
       "  --trial-threads N engine threads inside each rung (0 = hardware);\n"
       "                    output bits never change\n"
       "  --trace PATH      per-rung Chrome trace JSON (suffix _n<nodes>)\n"
-      "                    plus a per-stage breakdown in the summary\n",
+      "                    plus a per-stage breakdown in the summary\n"
+      "  --heartbeat       stream one {\"hb\":\"ladder\",...} line per\n"
+      "                    finished rung to stderr (fleet monitor schema)\n",
       argv0);
 }
 
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   long long max_nodes = -1;
   int trial_threads = 1;
+  bool heartbeat = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +194,7 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_path = next();
     else if (arg == "--trial-threads") trial_threads = std::atoi(next());
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--heartbeat") heartbeat = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
@@ -214,6 +221,22 @@ int main(int argc, char** argv) {
     std::vector<RungBudget> budgets;
     if (!budget_path.empty()) budgets = load_budget(budget_path);
     const bool enforce_env = std::getenv("LAACAD_ENFORCE_BUDGET") != nullptr;
+
+    // --heartbeat emits one fleet-schema line per finished rung (a ladder
+    // rung is the natural progress unit — rounds inside a rung belong to
+    // the engine's own --trace/--heartbeat story). `total` counts only the
+    // rungs that will actually run under --max-nodes.
+    std::unique_ptr<obs::HeartbeatEmitter> hb;
+    if (heartbeat) {
+      int planned = 0;
+      for (const std::string& value : nodes_axis->values)
+        if (max_nodes < 0 || std::atoll(value.c_str()) <= max_nodes)
+          ++planned;
+      hb = std::make_unique<obs::HeartbeatEmitter>(
+          stderr, "ladder", "scale_ladder", /*shard=*/"", planned);
+    }
+    int rungs_done = 0;
+    int rungs_ok = 0;
 
     std::vector<RungRow> rows;
     bool all_ok = true;
@@ -317,7 +340,10 @@ int main(int argc, char** argv) {
                     << " MiB\n";
         }
       }
+      if (row.ok) ++rungs_ok;
       rows.push_back(std::move(row));
+      ++rungs_done;
+      if (hb) hb->tick(rungs_done, rungs_ok);
     }
 
     write_json(json_path, rows, trial_threads, enforce_env);

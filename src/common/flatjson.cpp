@@ -1,0 +1,92 @@
+#include "common/flatjson.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace laacad::flatjson {
+
+std::size_t value_offset(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      if (line.compare(i, needle.size(), needle) == 0)
+        return i + needle.size();
+      in_string = true;
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool get_string(std::string_view line, std::string_view key,
+                std::string* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos || at >= line.size() || line[at] != '"')
+    return false;
+  std::string s;
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      *out = std::move(s);
+      return true;
+    }
+    if (c == '\\' && i + 1 < line.size()) {
+      const char e = line[++i];
+      switch (e) {
+        case 'n': s += '\n'; break;
+        case 't': s += '\t'; break;
+        case 'r': s += '\r'; break;
+        default: s += e; break;  // \" \\ \/ and anything exotic: literal
+      }
+    } else {
+      s += c;
+    }
+  }
+  return false;  // unterminated string
+}
+
+bool get_number(std::string_view line, std::string_view key, double* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos || at >= line.size()) return false;
+  if (line.compare(at, 4, "null") == 0) {
+    *out = std::nan("");
+    return true;
+  }
+  // strtod needs a terminated buffer; numbers are short.
+  char buf[64];
+  std::size_t n = 0;
+  for (std::size_t i = at; i < line.size() && n + 1 < sizeof(buf); ++i) {
+    const char c = line[i];
+    if ((c < '0' || c > '9') && c != '-' && c != '+' && c != '.' &&
+        c != 'e' && c != 'E')
+      break;
+    buf[n++] = c;
+  }
+  if (n == 0) return false;
+  buf[n] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + n;
+}
+
+bool get_bool(std::string_view line, std::string_view key, bool* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos) return false;
+  if (line.compare(at, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(at, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace laacad::flatjson

@@ -1,0 +1,27 @@
+// Minimal field scanner for *flat* single-line JSON objects — the shapes
+// this codebase emits itself (obs heartbeats, serve protocol messages):
+// one top-level object, string/number/bool values, no nesting relied upon.
+// Not a general JSON parser; `get_*` locates `"key":` at top level (escaped
+// quotes inside string bodies are skipped, so key matches never land inside
+// a value) and parses the value that follows. Shared by obs/heartbeat and
+// serve/protocol so both ends of every line format agree on one scanner.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace laacad::flatjson {
+
+/// Offset of the value of top-level `"key":`, or npos when absent.
+std::size_t value_offset(std::string_view line, std::string_view key);
+
+/// Read a string value; handles \n \t \r and pass-through escapes.
+bool get_string(std::string_view line, std::string_view key, std::string* out);
+
+/// Read a number value; JSON null parses as NaN (the JsonWriter convention).
+bool get_number(std::string_view line, std::string_view key, double* out);
+
+/// Read a bool value (true/false literals).
+bool get_bool(std::string_view line, std::string_view key, bool* out);
+
+}  // namespace laacad::flatjson

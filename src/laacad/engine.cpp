@@ -172,6 +172,7 @@ RunResult Engine::run() {
     RoundMetrics m = step();
     const bool done = (m.moved == 0);
     result.series.add(m);
+    if (cfg_.on_round) cfg_.on_round(m);
     if (cfg_.retain_history) result.history.push_back(std::move(m));
     if (done) {
       result.converged = true;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,8 @@
 #include "wsn/network.hpp"
 
 namespace laacad::core {
+
+struct RoundMetrics;
 
 struct LaacadConfig {
   int k = 1;               ///< coverage degree
@@ -64,6 +67,10 @@ struct LaacadConfig {
   vor::AdaptiveConfig adaptive;   ///< global-provider tuning
   LocalizedConfig localized;      ///< localized-provider tuning
   std::uint64_t seed = 1;         ///< feeds localization noise simulation
+  /// Observability hook: invoked by run() after every round with that
+  /// round's metrics (heartbeat emitters, progress bars). Must not mutate
+  /// the network; never affects results or serialized output.
+  std::function<void(const RoundMetrics&)> on_round;
 };
 
 /// Per-round aggregates; mirrors the series plotted in Fig. 6.

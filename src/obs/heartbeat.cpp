@@ -1,9 +1,9 @@
 #include "obs/heartbeat.hpp"
 
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 
+#include "common/flatjson.hpp"
 #include "common/json_writer.hpp"
 
 namespace laacad::obs {
@@ -12,80 +12,11 @@ namespace {
 
 constexpr std::string_view kPrefix = "{\"hb\":";
 
-/// Locate `"key":` at top level of our fixed-format line and return the
-/// offset of its value, or npos. The only string values we emit are kind /
-/// name / shard; name is JSON-escaped, so a quote inside it is always
-/// preceded by a backslash — the scanner below skips escaped quotes, which
-/// keeps key matches out of string bodies.
-std::size_t value_offset(std::string_view line, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  bool in_string = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (in_string) {
-      if (c == '\\') ++i;
-      else if (c == '"') in_string = false;
-      continue;
-    }
-    if (c == '"') {
-      if (line.compare(i, needle.size(), needle) == 0)
-        return i + needle.size();
-      in_string = true;
-    }
-  }
-  return std::string_view::npos;
-}
-
-bool parse_string(std::string_view line, std::string_view key,
-                  std::string* out) {
-  const std::size_t at = value_offset(line, key);
-  if (at == std::string_view::npos || at >= line.size() || line[at] != '"')
-    return false;
-  std::string s;
-  for (std::size_t i = at + 1; i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '"') {
-      *out = std::move(s);
-      return true;
-    }
-    if (c == '\\' && i + 1 < line.size()) {
-      const char e = line[++i];
-      switch (e) {
-        case 'n': s += '\n'; break;
-        case 't': s += '\t'; break;
-        case 'r': s += '\r'; break;
-        default: s += e; break;  // \" \\ \/ and anything exotic: literal
-      }
-    } else {
-      s += c;
-    }
-  }
-  return false;  // unterminated string
-}
-
-bool parse_number(std::string_view line, std::string_view key, double* out) {
-  const std::size_t at = value_offset(line, key);
-  if (at == std::string_view::npos || at >= line.size()) return false;
-  if (line.compare(at, 4, "null") == 0) {
-    *out = std::nan("");
-    return true;
-  }
-  // strtod needs a terminated buffer; numbers are short.
-  char buf[64];
-  std::size_t n = 0;
-  for (std::size_t i = at; i < line.size() && n + 1 < sizeof(buf); ++i) {
-    const char c = line[i];
-    if ((c < '0' || c > '9') && c != '-' && c != '+' && c != '.' &&
-        c != 'e' && c != 'E')
-      break;
-    buf[n++] = c;
-  }
-  if (n == 0) return false;
-  buf[n] = '\0';
-  char* end = nullptr;
-  *out = std::strtod(buf, &end);
-  return end == buf + n;
-}
+// Field access goes through the shared flat-JSON scanner: the only string
+// values we emit are kind / name / shard, and name is JSON-escaped, so the
+// scanner's escaped-quote handling keeps key matches out of string bodies.
+using flatjson::get_number;
+using flatjson::get_string;
 
 }  // namespace
 
@@ -118,17 +49,17 @@ bool parse_heartbeat(std::string_view line, Heartbeat* out) {
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
     line.remove_suffix(1);
   Heartbeat hb;
-  if (!parse_string(line, "hb", &hb.kind) || hb.kind.empty()) return false;
-  parse_string(line, "name", &hb.name);
-  parse_string(line, "shard", &hb.shard);
+  if (!get_string(line, "hb", &hb.kind) || hb.kind.empty()) return false;
+  get_string(line, "name", &hb.name);
+  get_string(line, "shard", &hb.shard);
   double v = 0.0;
-  if (parse_number(line, "done", &v)) hb.done = static_cast<int>(v);
-  if (parse_number(line, "total", &v)) hb.total = static_cast<int>(v);
-  if (parse_number(line, "ok", &v)) hb.ok = static_cast<int>(v);
-  if (parse_number(line, "live", &v)) hb.live = static_cast<int>(v);
-  if (parse_number(line, "rate_per_s", &v)) hb.rate_per_s = v;
-  if (parse_number(line, "eta_s", &v)) hb.eta_s = v;
-  if (parse_number(line, "ts_ms", &v)) hb.ts_ms = static_cast<std::uint64_t>(v);
+  if (get_number(line, "done", &v)) hb.done = static_cast<int>(v);
+  if (get_number(line, "total", &v)) hb.total = static_cast<int>(v);
+  if (get_number(line, "ok", &v)) hb.ok = static_cast<int>(v);
+  if (get_number(line, "live", &v)) hb.live = static_cast<int>(v);
+  if (get_number(line, "rate_per_s", &v)) hb.rate_per_s = v;
+  if (get_number(line, "eta_s", &v)) hb.eta_s = v;
+  if (get_number(line, "ts_ms", &v)) hb.ts_ms = static_cast<std::uint64_t>(v);
   *out = std::move(hb);
   return true;
 }

@@ -2,206 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <numeric>
 #include <ostream>
-#include <stdexcept>
 
 #include "common/json_writer.hpp"
 #include "coverage/grid_checker.hpp"
 #include "obs/trace.hpp"
 #include "wsn/connectivity.hpp"
-#include "wsn/deployment.hpp"
-#include "wsn/energy.hpp"
 
 namespace laacad::scenario {
 
-namespace {
-
-double auto_gamma(const ScenarioSpec& spec, const wsn::Domain& domain) {
-  if (spec.gamma > 0.0) return spec.gamma;
-  return wsn::auto_comm_range(domain, spec.nodes, spec.side);
-}
-
-geom::Vec2 bbox_point(const wsn::Domain& domain, geom::Vec2 fraction) {
-  const geom::BBox bb = domain.bbox();
-  return {bb.lo.x + fraction.x * bb.width(),
-          bb.lo.y + fraction.y * bb.height()};
-}
-
-/// Decompose the *new* blocked area of an axis-aligned rectangle —
-/// rect ∩ outer ring, minus every existing hole — into disjoint
-/// axis-aligned cells. This is what lets obstacles and jams overlap freely:
-/// instead of unioning hole polygons (a general boolean op), only the area
-/// not already blocked becomes new holes, so the hole list stays pairwise
-/// disjoint (the Domain invariant that keeps area bookkeeping and cell
-/// clipping exact) while the *blocked region* is the union.
-///
-/// The grid is cut at every outer/hole vertex coordinate inside the rect.
-/// Every domain the scenario format can build is axis-aligned rectilinear
-/// (square/lshape/cross outlines, rectangular obstacles and jams, uniform
-/// resize scaling), so each cell lies entirely inside or outside each ring
-/// and the midpoint test classifies it exactly.
-std::vector<geom::Ring> new_blocked_cells(const wsn::Domain& domain,
-                                          geom::Vec2 lo, geom::Vec2 hi) {
-  std::vector<double> xs = {lo.x, hi.x}, ys = {lo.y, hi.y};
-  auto collect = [&](const geom::Ring& ring) {
-    for (const geom::Vec2& v : ring) {
-      if (v.x > lo.x && v.x < hi.x) xs.push_back(v.x);
-      if (v.y > lo.y && v.y < hi.y) ys.push_back(v.y);
-    }
-  };
-  collect(domain.outer());
-  for (const geom::Ring& h : domain.holes()) collect(h);
-  auto dedupe = [](std::vector<double>& v) {
-    std::sort(v.begin(), v.end());
-    // Merge near-identical cuts: a sliver thinner than 1e-9 m carries no
-    // area and would only produce degenerate cells.
-    v.erase(std::unique(v.begin(), v.end(),
-                        [](double a, double b) { return b - a < 1e-9; }),
-            v.end());
-  };
-  dedupe(xs);
-  dedupe(ys);
-
-  std::vector<geom::Ring> cells;
-  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
-    // Cells in one x-strip merge vertically when contiguous, so a jam over
-    // clear ground stays one rectangle per strip instead of a grid.
-    std::size_t open = cells.size();  // first cell index of this strip
-    for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
-      const geom::Vec2 c{(xs[i] + xs[i + 1]) / 2, (ys[j] + ys[j + 1]) / 2};
-      bool blocked = !geom::contains_point(domain.outer(), c, 0.0);
-      for (const geom::Ring& h : domain.holes()) {
-        if (blocked) break;
-        blocked = geom::contains_point(h, c, 0.0);
-      }
-      if (blocked) {
-        open = cells.size() + 1;  // break vertical contiguity
-        continue;
-      }
-      if (open < cells.size()) {
-        cells.back()[2].y = ys[j + 1];  // extend the open cell upward
-        cells.back()[3].y = ys[j + 1];
-      } else {
-        cells.push_back(geom::box_ring(
-            {{xs[i], ys[j]}, {xs[i + 1], ys[j + 1]}}));
-        open = cells.size() - 1;
-      }
-    }
-  }
-  return cells;
-}
-
-/// Apply `cells` as new holes; nullptr when nothing remains to cover.
-std::unique_ptr<wsn::Domain> with_blocked_cells(
-    const wsn::Domain& domain, const std::vector<geom::Ring>& cells) {
-  std::vector<geom::Ring> holes = domain.holes();
-  holes.insert(holes.end(), cells.begin(), cells.end());
-  auto out = std::make_unique<wsn::Domain>(domain.outer(), std::move(holes));
-  if (out->area() <= 1e-6) return nullptr;
-  return out;
-}
-
-/// True when the rect touches the domain's outer ring at all (used to
-/// distinguish "outside the domain" from "already fully blocked").
-bool rect_touches_domain(const wsn::Domain& domain, geom::Vec2 lo,
-                         geom::Vec2 hi) {
-  const geom::Ring clipped = geom::dedupe_ring(
-      geom::sutherland_hodgman(domain.outer(), geom::box_ring({lo, hi})));
-  return geom::area(clipped) > 1e-6;
-}
-
-}  // namespace
-
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
-    : spec_(std::move(spec)), rng_(spec_.seed) {
-  validate(spec_);
-  wsn::Domain base =
-      wsn::make_named_domain(spec_.domain, spec_.side, spec_.hole);
-  // Declared obstacles are punched up front, with the same union-by-
-  // decomposition the jam_region event uses, so they may overlap each
-  // other (or the canned `hole`) freely.
-  for (const ObstacleRect& rect : spec_.obstacles) {
-    const geom::Vec2 lo = bbox_point(base, rect.lo);
-    const geom::Vec2 hi = bbox_point(base, rect.hi);
-    if (!rect_touches_domain(base, lo, hi))
-      throw std::runtime_error(
-          "obstacle (spec line " + std::to_string(rect.line) +
-          "): rectangle lies outside the domain");
-    const auto cells = new_blocked_cells(base, lo, hi);
-    if (cells.empty()) continue;  // fully inside earlier obstacles
-    auto blocked = with_blocked_cells(base, cells);
-    if (!blocked)
-      throw std::runtime_error(
-          "obstacle (spec line " + std::to_string(rect.line) +
-          "): no coverage area remains");
-    base = std::move(*blocked);
-  }
-  domains_.push_back(std::make_unique<wsn::Domain>(std::move(base)));
-  const wsn::Domain& domain = *domains_.back();
-
-  std::vector<geom::Vec2> initial;
-  if (spec_.deploy == "stacked") {
-    // Groups of k co-located nodes on uniform anchors — the paper's "even
-    // clustering" equilibrium as a start. Count rounds down to a multiple
-    // of k, matching the Fig. 5 construction; validate() guarantees
-    // nodes >= k, so there is always at least one group.
-    const int groups = spec_.nodes / spec_.k;
-    const auto anchors = wsn::deploy_uniform(domain, groups, rng_);
-    initial = wsn::stacked(anchors, spec_.k, rng_, 1e-3);
-  } else {
-    initial =
-        wsn::deploy_named(domain, spec_.deploy, spec_.nodes, spec_.side, rng_);
-  }
-  initial_positions_ = initial;
-  net_ = std::make_unique<wsn::Network>(&domain, std::move(initial),
-                                        auto_gamma(spec_, domain));
-  battery_.assign(static_cast<std::size_t>(net_->size()), spec_.battery);
-
-  core::LaacadConfig cfg;
-  cfg.k = spec_.k;
-  cfg.alpha = spec_.alpha;
-  cfg.epsilon = spec_.epsilon;
-  cfg.max_rounds = spec_.max_rounds;
-  cfg.seed = spec_.seed;
-  cfg.num_threads = spec_.num_threads;
-  cfg.localized.max_hops = spec_.max_hops;
-  cfg.localized.frame.range_noise = spec_.noise;
-  if (spec_.backend == "localized")
-    cfg.provider = core::make_localized_provider(cfg.localized, cfg.seed);
-  else if (spec_.backend == "global")
-    cfg.provider = core::make_global_provider(cfg.adaptive);
-  // backend "auto": provider stays null and the engine selects by network
-  // size (global below provider_auto_threshold, localized above).
-  engine_ = std::make_unique<core::Engine>(*net_, cfg);
-}
+    : world_(build_world(std::move(spec))) {}
 
 ScenarioRunner::~ScenarioRunner() = default;
 
 PhaseRecord ScenarioRunner::run_phase(int phase_idx, const std::string& cause,
                                       int next_event) {
   obs::ScopedSpan phase_span("phase", phase_idx);
+  const ScenarioSpec& spec = world_.spec;
   PhaseRecord rec;
   rec.phase = phase_idx;
   rec.cause = cause;
   rec.start_round = global_round_;
 
   const Event* pending =
-      next_event < static_cast<int>(spec_.events.size())
-          ? &spec_.events[static_cast<std::size_t>(next_event)]
+      next_event < static_cast<int>(spec.events.size())
+          ? &spec.events[static_cast<std::size_t>(next_event)]
           : nullptr;
-  while (engine_->rounds_executed() < spec_.max_rounds) {
+  while (world_.engine->rounds_executed() < spec.max_rounds) {
     // A round-scheduled disruption interrupts the phase, converged or not.
     if (pending && pending->trigger == Trigger::kAtRound &&
         global_round_ >= pending->round)
       break;
-    core::RoundMetrics m = engine_->step();
+    core::RoundMetrics m = world_.engine->step();
     ++global_round_;
     const bool done = (m.moved == 0);
     rec.series.add(m);
-    if (spec_.history) rec.history.push_back(std::move(m));
+    if (spec.history) rec.history.push_back(std::move(m));
     if (done) {
       rec.converged = true;
       break;
@@ -211,197 +50,52 @@ PhaseRecord ScenarioRunner::run_phase(int phase_idx, const std::string& cause,
 
   // Tune sensing ranges for the current positions, then verify what this
   // phase actually delivers: k-coverage, load balance, connectivity.
-  engine_->finalize();
-  rec.nodes = net_->size();
+  world_.engine->finalize();
+  rec.nodes = world_.net->size();
   double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
-  for (const double r : net_->sensing_ranges()) {
+  for (const double r : world_.net->sensing_ranges()) {
     rmax = std::max(rmax, r);
     rmin = std::min(rmin, r);
   }
   rec.final_max_range = rmax;
   rec.final_min_range = std::isfinite(rmin) ? rmin : 0.0;
-  rec.load = wsn::load_report(*net_);
+  rec.load = wsn::load_report(*world_.net);
 
   const auto coverage = cov::grid_coverage(
-      domain(), cov::sensing_disks(*net_), spec_.grid_resolution,
-      std::max(8, spec_.k));
+      domain(), cov::sensing_disks(*world_.net), spec.grid_resolution,
+      std::max(8, spec.k));
   rec.coverage_min_depth = coverage.min_depth;
   rec.coverage_mean_depth = coverage.mean_depth;
-  rec.covered_fraction_k = coverage.fraction_at_least(spec_.k);
+  rec.covered_fraction_k = coverage.fraction_at_least(spec.k);
 
   rec.components =
-      rmax > 0.0 ? wsn::analyze_connectivity(*net_, 1.25 * rmax).components
-                 : net_->size();
+      rmax > 0.0 ? wsn::analyze_connectivity(*world_.net, 1.25 * rmax).components
+                 : world_.net->size();
 
-  if (!battery_.empty()) {
-    rec.battery_min = *std::min_element(battery_.begin(), battery_.end());
+  if (!world_.battery.empty()) {
+    rec.battery_min =
+        *std::min_element(world_.battery.begin(), world_.battery.end());
     rec.battery_mean =
-        std::accumulate(battery_.begin(), battery_.end(), 0.0) /
-        static_cast<double>(battery_.size());
+        std::accumulate(world_.battery.begin(), world_.battery.end(), 0.0) /
+        static_cast<double>(world_.battery.size());
   }
-  return rec;
-}
-
-void ScenarioRunner::remove_nodes_desc(std::vector<int> ids) {
-  std::sort(ids.begin(), ids.end(), std::greater<int>());
-  for (int id : ids) {
-    net_->remove_node(id);
-    battery_.erase(battery_.begin() + id);
-  }
-}
-
-EventRecord ScenarioRunner::apply_event(const Event& ev, int index) {
-  obs::ScopedSpan event_span("event", index);
-  EventRecord rec;
-  rec.index = index;
-  rec.type = to_string(ev.type);
-  rec.global_round = global_round_;
-  rec.nodes_before = net_->size();
-  const int n = net_->size();
-
-  switch (ev.type) {
-    case EventType::kFailNodes: {
-      std::vector<int> doomed;
-      if (ev.pick == "region") {
-        const geom::Vec2 lo = bbox_point(domain(), ev.lo);
-        const geom::Vec2 hi = bbox_point(domain(), ev.hi);
-        for (int i = 0; i < n; ++i) {
-          const geom::Vec2 p = net_->position(i);
-          if (p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y)
-            doomed.push_back(i);
-        }
-        if (ev.count > 0 && static_cast<int>(doomed.size()) > ev.count)
-          doomed.resize(static_cast<std::size_t>(ev.count));
-      } else if (ev.pick == "max_range") {
-        std::vector<int> ids(static_cast<std::size_t>(n));
-        std::iota(ids.begin(), ids.end(), 0);
-        std::sort(ids.begin(), ids.end(), [&](int a, int b) {
-          const double ra = net_->node(a).sensing_range;
-          const double rb = net_->node(b).sensing_range;
-          return ra != rb ? ra > rb : a < b;
-        });
-        ids.resize(static_cast<std::size_t>(std::min(ev.count, n)));
-        doomed = std::move(ids);
-      } else {  // random: Fisher–Yates prefix over node ids
-        std::vector<int> ids(static_cast<std::size_t>(n));
-        std::iota(ids.begin(), ids.end(), 0);
-        const int want = std::min(ev.count, n);
-        for (int i = 0; i < want; ++i) {
-          const int j = rng_.uniform_int(i, n - 1);
-          std::swap(ids[static_cast<std::size_t>(i)],
-                    ids[static_cast<std::size_t>(j)]);
-        }
-        ids.resize(static_cast<std::size_t>(want));
-        doomed = std::move(ids);
-      }
-      const int killed = static_cast<int>(doomed.size());
-      remove_nodes_desc(std::move(doomed));
-      rec.detail = "removed " + std::to_string(killed) + " nodes (" +
-                   ev.pick + ")";
-      break;
-    }
-    case EventType::kDrainBattery: {
-      std::vector<int> depleted;
-      for (int i = 0; i < n; ++i) {
-        const double drain =
-            ev.epochs * wsn::sensing_energy(net_->node(i).sensing_range) +
-            ev.fraction * spec_.battery;
-        battery_[static_cast<std::size_t>(i)] -= drain;
-        if (battery_[static_cast<std::size_t>(i)] <= 0.0)
-          depleted.push_back(i);
-      }
-      const int killed = static_cast<int>(depleted.size());
-      remove_nodes_desc(std::move(depleted));
-      rec.detail = "drained batteries; " + std::to_string(killed) +
-                   " nodes depleted";
-      break;
-    }
-    case EventType::kAddNodes: {
-      std::vector<geom::Vec2> fresh;
-      if (ev.deploy == "uniform")
-        fresh = wsn::deploy_uniform(domain(), ev.count, rng_);
-      else if (ev.deploy == "corner")
-        fresh = wsn::deploy_corner(domain(), ev.count, rng_);
-      else
-        fresh = wsn::deploy_gaussian(domain(), ev.count,
-                                     bbox_point(domain(), ev.at),
-                                     ev.sigma * domain().bbox().width(), rng_);
-      for (const geom::Vec2& p : fresh) {
-        net_->add_node(p);
-        battery_.push_back(spec_.battery);
-      }
-      rec.detail = "added " + std::to_string(ev.count) + " nodes (" +
-                   ev.deploy + ")";
-      break;
-    }
-    case EventType::kResizeBoundary: {
-      const geom::Vec2 anchor = domain().bbox().lo;
-      geom::Ring outer = domain().outer();
-      for (geom::Vec2& v : outer) v = anchor + (v - anchor) * ev.scale;
-      std::vector<geom::Ring> holes = domain().holes();
-      for (geom::Ring& hole : holes)
-        for (geom::Vec2& v : hole) v = anchor + (v - anchor) * ev.scale;
-      domains_.push_back(
-          std::make_unique<wsn::Domain>(std::move(outer), std::move(holes)));
-      net_->rebind_domain(domains_.back().get());
-      rec.detail = "boundary scaled by " +
-                   JsonWriter::number_to_string(ev.scale);
-      break;
-    }
-    case EventType::kJamRegion: {
-      const geom::Vec2 lo = bbox_point(domain(), ev.lo);
-      const geom::Vec2 hi = bbox_point(domain(), ev.hi);
-      // The spec rect is in bbox fractions, so on a non-rectangular domain
-      // it can spill outside the outer ring, and jams may overlap earlier
-      // jams or declared obstacles: the blocked region becomes the *union*.
-      // Only the newly blocked area (decomposed into disjoint cells) is
-      // added as holes, which keeps Domain's pairwise-disjointness invariant
-      // and exact area bookkeeping. A jam entirely outside the domain is
-      // still a scenario-author error — reject it loudly.
-      if (!rect_touches_domain(domain(), lo, hi))
-        throw std::runtime_error(
-            "jam_region (spec line " + std::to_string(ev.line) +
-            "): rectangle lies outside the domain");
-      const auto cells = new_blocked_cells(domain(), lo, hi);
-      if (cells.empty()) {
-        // Union semantics: re-jamming blocked ground changes nothing.
-        rec.detail = "rectangle already jammed; no new area";
-        break;
-      }
-      auto jammed = with_blocked_cells(domain(), cells);
-      // Something must remain to cover: a jam swallowing (essentially) the
-      // whole domain would leave every node infeasible.
-      if (!jammed)
-        throw std::runtime_error(
-            "jam_region (spec line " + std::to_string(ev.line) +
-            "): no coverage area remains after the jam");
-      domains_.push_back(std::move(jammed));
-      net_->rebind_domain(domains_.back().get());
-      rec.detail = "jammed rectangle (" + JsonWriter::number_to_string(lo.x) +
-                   ", " + JsonWriter::number_to_string(lo.y) + ")-(" +
-                   JsonWriter::number_to_string(hi.x) + ", " +
-                   JsonWriter::number_to_string(hi.y) + ")";
-      break;
-    }
-  }
-
-  rec.nodes_after = net_->size();
   return rec;
 }
 
 ScenarioResult ScenarioRunner::run() {
+  const ScenarioSpec& spec = world_.spec;
   ScenarioResult result;
-  result.spec = spec_;
-  result.resolved_gamma = net_->gamma();
-  result.initial_positions = initial_positions_;
+  result.spec = spec;
+  result.resolved_gamma = world_.net->gamma();
+  result.initial_positions = world_.initial_positions;
 
   int next_event = 0;
   std::string cause = "initial";
   for (int phase_idx = 0;; ++phase_idx) {
     result.phases.push_back(run_phase(phase_idx, cause, next_event));
 
-    if (next_event >= static_cast<int>(spec_.events.size())) break;
-    const Event& ev = spec_.events[static_cast<std::size_t>(next_event)];
+    if (next_event >= static_cast<int>(spec.events.size())) break;
+    const Event& ev = spec.events[static_cast<std::size_t>(next_event)];
 
     // A converged network idles (no movement, no round cost) until a
     // round-scheduled disruption arrives: fast-forward the clock.
@@ -411,19 +105,19 @@ ScenarioResult ScenarioRunner::run() {
       global_round_ = ev.round;
     }
     // apply_event stamps global_round after the fast-forward above.
-    EventRecord erec = apply_event(ev, next_event);
+    EventRecord erec = apply_event(world_, ev, next_event, global_round_);
     erec.idle_rounds = idle;
     result.events.push_back(std::move(erec));
     ++next_event;
 
-    if (net_->size() < spec_.k) {
+    if (world_.net->size() < spec.k) {
       result.aborted = true;
       result.abort_reason =
-          "network dropped below k nodes (k=" + std::to_string(spec_.k) +
-          ", nodes=" + std::to_string(net_->size()) + ")";
+          "network dropped below k nodes (k=" + std::to_string(spec.k) +
+          ", nodes=" + std::to_string(world_.net->size()) + ")";
       break;
     }
-    engine_->begin_phase();
+    world_.engine->begin_phase();
     cause = to_string(ev.type);
   }
 
@@ -433,7 +127,7 @@ ScenarioResult ScenarioRunner::run() {
                   [](const PhaseRecord& p) { return p.converged; });
   result.final_coverage_ok =
       !result.aborted &&
-      result.phases.back().coverage_min_depth >= spec_.k;
+      result.phases.back().coverage_min_depth >= spec.k;
   return result;
 }
 
@@ -471,6 +165,7 @@ void ScenarioResult::write_json(std::ostream& out) const {
   if (spec.backend == "localized") {
     w.kv("max_hops", spec.max_hops);
     w.kv("noise", spec.noise);
+    w.kv("flooding", spec.flooding);
   }
   w.kv("seed", spec.seed);
   w.kv("battery", spec.battery);

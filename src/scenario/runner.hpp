@@ -16,12 +16,11 @@
 // thread counts (num_threads is never serialized).
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "laacad/engine.hpp"
+#include "scenario/apply.hpp"
 #include "scenario/spec.hpp"
 #include "wsn/network.hpp"
 
@@ -49,17 +48,6 @@ struct PhaseRecord {
   core::RoundSeries series;
   /// Full per-round record; only filled when ScenarioSpec::history is set.
   std::vector<core::RoundMetrics> history;
-};
-
-/// One applied disruption.
-struct EventRecord {
-  int index = 0;         ///< position in the spec timeline
-  std::string type;
-  int global_round = 0;  ///< when it fired
-  int idle_rounds = 0;   ///< converged rounds skipped waiting for round=N
-  int nodes_before = 0;
-  int nodes_after = 0;
-  std::string detail;    ///< human-readable summary ("removed 6 nodes", ...)
 };
 
 struct ScenarioResult {
@@ -94,24 +82,18 @@ class ScenarioRunner {
   ScenarioResult run();
 
   /// Deployment state after (or during) run — for tests and visualization.
-  const wsn::Network& network() const { return *net_; }
-  const wsn::Domain& domain() const { return *domains_.back(); }
+  const wsn::Network& network() const { return *world_.net; }
+  const wsn::Domain& domain() const { return world_.domain(); }
 
  private:
   PhaseRecord run_phase(int phase_idx, const std::string& cause,
                         int next_event);
-  EventRecord apply_event(const Event& ev, int index);
-  void remove_nodes_desc(std::vector<int> ids);  ///< ids need not be sorted
 
-  ScenarioSpec spec_;
-  /// Domains are appended by resize/jam events; earlier entries stay alive
-  /// because positions were projected under them mid-run. Back is current.
-  std::vector<std::unique_ptr<wsn::Domain>> domains_;
-  std::unique_ptr<wsn::Network> net_;
-  std::unique_ptr<core::Engine> engine_;
-  std::vector<double> battery_;  ///< parallel to net_->nodes()
-  std::vector<geom::Vec2> initial_positions_;
-  Rng rng_;                      ///< deployment + event randomness, in order
+  /// All scenario state lives in the shared World; the runner is the batch
+  /// driver over scenario::build_world / scenario::apply_event — the same
+  /// entry points the serving daemon uses, so replayed and served state
+  /// share one code path.
+  World world_;
   int global_round_ = 0;
 };
 

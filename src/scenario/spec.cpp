@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/json_writer.hpp"
 #include "common/specparse.hpp"
 
 namespace laacad::scenario {
@@ -46,7 +47,9 @@ Event parse_event(const std::vector<std::string>& toks, int line) {
   } else if (trig.rfind("round=", 0) == 0) {
     ev.trigger = Trigger::kAtRound;
     ev.round = parse_int(trig.substr(6), line, "round");
-    if (ev.round <= 0) fail(line, "event round must be >= 1");
+    // round=0 fires before the first engine step — a daemon event accepted
+    // before any redeployment round replays with that stamp.
+    if (ev.round < 0) fail(line, "event round must be >= 0");
   } else {
     fail(line, "unknown trigger '" + trig + "' (converged or round=N)");
   }
@@ -165,6 +168,7 @@ bool set_key(ScenarioSpec& spec, const std::string& key,
   else if (key == "backend") spec.backend = val;
   else if (key == "max_hops") spec.max_hops = parse_int(val, line, key);
   else if (key == "noise") spec.noise = parse_double(val, line, key);
+  else if (key == "flooding") spec.flooding = val;
   else if (key == "battery") spec.battery = parse_double(val, line, key);
   else if (key == "grid_resolution")
     spec.grid_resolution = parse_double(val, line, key);
@@ -249,6 +253,82 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   return spec;
 }
 
+std::string format_event(const Event& ev) {
+  std::ostringstream out;
+  const auto num = [](double v) { return JsonWriter::number_to_string(v); };
+  out << "event ";
+  if (ev.trigger == Trigger::kOnConvergence)
+    out << "converged";
+  else
+    out << "round=" << ev.round;
+  out << ' ' << to_string(ev.type);
+  switch (ev.type) {
+    case EventType::kFailNodes:
+      out << " count=" << ev.count << " pick=" << ev.pick;
+      if (ev.pick == "region")
+        out << " x0=" << num(ev.lo.x) << " y0=" << num(ev.lo.y)
+            << " x1=" << num(ev.hi.x) << " y1=" << num(ev.hi.y);
+      break;
+    case EventType::kDrainBattery:
+      out << " epochs=" << num(ev.epochs) << " fraction=" << num(ev.fraction);
+      break;
+    case EventType::kAddNodes:
+      out << " count=" << ev.count << " deploy=" << ev.deploy;
+      if (ev.deploy == "gaussian")
+        out << " x=" << num(ev.at.x) << " y=" << num(ev.at.y)
+            << " sigma=" << num(ev.sigma);
+      break;
+    case EventType::kResizeBoundary:
+      out << " scale=" << num(ev.scale);
+      break;
+    case EventType::kJamRegion:
+      out << " x0=" << num(ev.lo.x) << " y0=" << num(ev.lo.y)
+          << " x1=" << num(ev.hi.x) << " y1=" << num(ev.hi.y);
+      break;
+  }
+  return out.str();
+}
+
+std::string format_spec_header(const ScenarioSpec& spec) {
+  if (spec.name.find_first_of(" \t") != std::string::npos ||
+      spec.name.empty() || spec.name[0] == '#')
+    throw std::runtime_error("scenario name '" + spec.name +
+                             "' cannot round-trip through the spec format");
+  std::ostringstream out;
+  const auto num = [](double v) { return JsonWriter::number_to_string(v); };
+  out << "name " << spec.name << '\n';
+  out << "domain " << spec.domain << '\n';
+  out << "side " << num(spec.side) << '\n';
+  out << "hole " << (spec.hole ? "true" : "false") << '\n';
+  for (const ObstacleRect& rect : spec.obstacles)
+    out << "obstacle " << num(rect.lo.x) << ' ' << num(rect.lo.y) << ' '
+        << num(rect.hi.x) << ' ' << num(rect.hi.y) << '\n';
+  out << "deploy " << spec.deploy << '\n';
+  out << "nodes " << spec.nodes << '\n';
+  out << "k " << spec.k << '\n';
+  out << "alpha " << num(spec.alpha) << '\n';
+  out << "epsilon " << num(spec.epsilon) << '\n';
+  out << "max_rounds " << spec.max_rounds << '\n';
+  out << "gamma " << num(spec.gamma) << '\n';
+  out << "backend " << spec.backend << '\n';
+  out << "max_hops " << spec.max_hops << '\n';
+  out << "noise " << num(spec.noise) << '\n';
+  out << "flooding " << spec.flooding << '\n';
+  out << "seed " << spec.seed << '\n';
+  out << "battery " << num(spec.battery) << '\n';
+  out << "grid_resolution " << num(spec.grid_resolution) << '\n';
+  return out.str();
+}
+
+Event parse_event_body(const std::string& text) {
+  std::vector<std::string> toks = {"event", "converged"};
+  const auto body = tokenize(text);
+  toks.insert(toks.end(), body.begin(), body.end());
+  if (toks.size() < 3)
+    specparse::fail(0, "event body needs a type: <type> [name=value ...]");
+  return parse_event(toks, 0);
+}
+
 void validate(const ScenarioSpec& spec) {
   auto bad = [](const std::string& what) {
     throw std::runtime_error("scenario spec: " + what);
@@ -274,6 +354,8 @@ void validate(const ScenarioSpec& spec) {
   if (spec.backend != "global" && spec.backend != "localized" &&
       spec.backend != "auto")
     bad("unknown backend '" + spec.backend + "'");
+  if (spec.flooding != "ideal" && spec.flooding != "ttl")
+    bad("unknown flooding '" + spec.flooding + "' (ideal or ttl)");
   for (const ObstacleRect& rect : spec.obstacles) {
     if (!(rect.lo.x < rect.hi.x) || !(rect.lo.y < rect.hi.y))
       bad("obstacle rectangle is empty (need x0 < x1 and y0 < y1)");

@@ -111,6 +111,11 @@ struct ScenarioSpec {
   std::string backend = "global";
   int max_hops = 10;
   double noise = 0.0;
+  /// ideal | ttl — gather semantics of the localized backend
+  /// (LocalizedConfig::ideal_gather): `ideal` is the paper's Algorithm 2
+  /// assumption (every Euclidean-close node is found regardless of radio
+  /// path), `ttl` caps the flood at ceil(rho/gamma) + slack hops.
+  std::string flooding = "ideal";
   std::uint64_t seed = 1;
   int num_threads = 1;  ///< execution detail; never serialized into metrics
   /// Retain (and serialize) the full per-round history of every phase. Off
@@ -125,8 +130,8 @@ struct ScenarioSpec {
 };
 
 /// Set one *physical* config key (domain, side, hole, deploy, nodes, k,
-/// alpha, epsilon, max_rounds, gamma, backend, max_hops, noise, battery,
-/// grid_resolution) from its textual value, parsed exactly as the file
+/// alpha, epsilon, max_rounds, gamma, backend, max_hops, noise, flooding,
+/// battery, grid_resolution) from its textual value, parsed exactly as the file
 /// format parses it. Returns false for keys outside this set (name, seed,
 /// threads, event — those stay with their owning parser: the campaign
 /// engine sweeps physical keys through this call but must never sweep
@@ -146,6 +151,26 @@ ScenarioSpec parse_scenario_string(const std::string& text);
 /// Load and parse a scenario file; the file name (sans directory and
 /// extension) overrides `name` when the spec does not set one.
 ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Serialize one event as a spec-format line ("event round=N type k=v ...",
+/// no trailing newline) that round-trips exactly through parse_scenario.
+/// The serving daemon's event log is the spec header plus these lines.
+std::string format_event(const Event& ev);
+
+/// Serialize the physical + identity configuration of `spec` (every key the
+/// file format knows except events, `threads`, and `history` — execution and
+/// output details are not part of the experiment) as spec lines. Parsing the
+/// result reproduces the spec field-for-field; appending format_event lines
+/// reproduces the timeline. Names containing whitespace cannot round-trip
+/// through the token-based format and are rejected.
+std::string format_spec_header(const ScenarioSpec& spec);
+
+/// Parse an event *body* — "<type> [name=value ...]", with no `event`
+/// keyword and no trigger — the vocabulary a daemon client submits; the
+/// service stamps the trigger round itself. Returns an event with the
+/// default kOnConvergence trigger. Throws std::runtime_error on malformed
+/// input, with the same messages as the file parser.
+Event parse_event_body(const std::string& text);
 
 /// Spec-level sanity checks shared by parser and runner: positive side,
 /// nodes >= k >= 1, alpha in (0,1], epsilon > 0, max_rounds > 0, known

@@ -1,0 +1,74 @@
+// Durable, replayable event log for the serving daemon — and the replay
+// tooling that closes the loop.
+//
+// The log *is* a scenario file: its header is format_spec_header(spec) (the
+// daemon's base configuration) and every accepted event is appended as a
+// `format_event` line stamped `round=N` with the global round at which the
+// round loop applied it. Feeding the log back through load_scenario_file +
+// ScenarioRunner therefore replays the exact phase structure the daemon
+// executed — one finalize per phase, one event per phase boundary, RNG
+// consumed in acceptance order — and reproduces the served network state
+// bit-for-bit. `write_network_state` is the canonical serialization both
+// sides dump so the guarantee is checkable with `cmp`.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "wsn/network.hpp"
+
+namespace laacad::serve {
+
+/// Append-only writer. Construction writes the spec header and flushes;
+/// append() writes one event line and flushes — a crash loses at most the
+/// event being written, never a previously accepted one.
+class EventLog {
+ public:
+  /// Opens (truncates) `path` and writes the header. Throws
+  /// std::runtime_error when the file cannot be opened. An empty path
+  /// disables logging (the daemon still serves, replay is unavailable).
+  EventLog(const std::string& path, const scenario::ScenarioSpec& spec);
+
+  bool enabled() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+  std::uint64_t events_written() const { return events_; }
+
+  /// Append one accepted event. `ev.trigger`/`ev.round` must already carry
+  /// the round stamp the service applied it at.
+  void append(const scenario::Event& ev);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t events_ = 0;
+};
+
+/// Everything the canonical state dump records besides the network itself.
+struct StateInfo {
+  std::string name;
+  int total_rounds = 0;
+  int phases = 0;
+  int events_applied = 0;
+  bool aborted = false;
+  double grid_resolution = 5.0;  ///< coverage-check lattice spacing
+  int k = 1;
+};
+
+/// Serialize the final network state (positions, tuned sensing ranges, load
+/// report, grid-coverage report) plus `info` as a JSON document with
+/// shortest-round-trip numbers. Byte-identical for bit-identical states —
+/// the comparison format of the replay guarantee.
+void write_network_state(std::ostream& out, const wsn::Network& net,
+                         const StateInfo& info);
+
+/// Replay an event log (or any scenario file) through the batch
+/// ScenarioRunner and dump the resulting state with write_network_state.
+/// `num_threads` >= 0 overrides the spec's thread count (0 = hardware) —
+/// results are identical for every value, which the replay tests exploit.
+void replay_log_state(const std::string& log_path, std::ostream& out,
+                      int num_threads = -1);
+
+}  // namespace laacad::serve

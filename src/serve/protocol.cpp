@@ -1,0 +1,208 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/flatjson.hpp"
+#include "common/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace laacad::serve {
+
+namespace {
+
+std::string error_response(const std::string& what) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("error", what);
+  w.end_object();
+  return out.str();
+}
+
+/// Common prologue of snapshot-backed responses.
+void snapshot_header(JsonWriter& w, const Snapshot& snap) {
+  w.kv("ok", true);
+  w.kv("epoch", static_cast<std::int64_t>(snap.meta().epoch));
+  w.kv("round", snap.meta().global_round);
+}
+
+std::string handle_knn(CoverageService& svc, const std::string& line) {
+  double x = 0.0, y = 0.0, kd = 0.0;
+  if (!flatjson::get_number(line, "x", &x) ||
+      !flatjson::get_number(line, "y", &y) || !std::isfinite(x) ||
+      !std::isfinite(y))
+    return error_response("knn needs finite numbers x and y");
+  int k = 1;
+  if (flatjson::get_number(line, "k", &kd)) k = static_cast<int>(kd);
+  if (k < 1) return error_response("knn needs k >= 1");
+
+  const auto snap = svc.snapshot();
+  const auto nodes = snap->closest_nodes({x, y}, k);
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  snapshot_header(w, *snap);
+  w.kv("k", k);
+  w.key("nodes").begin_array();
+  for (const NeighborInfo& info : nodes) {
+    w.begin_object();
+    w.kv("id", info.id);
+    w.kv("x", info.pos.x);
+    w.kv("y", info.pos.y);
+    w.kv("range", info.sensing_range);
+    w.kv("dist", info.dist);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+std::string handle_coverage(CoverageService& svc, const std::string& line) {
+  double x = 0.0, y = 0.0;
+  if (!flatjson::get_number(line, "x", &x) ||
+      !flatjson::get_number(line, "y", &y) || !std::isfinite(x) ||
+      !std::isfinite(y))
+    return error_response("coverage needs finite numbers x and y");
+
+  const auto snap = svc.snapshot();
+  const int depth = snap->coverage_depth({x, y});
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  snapshot_header(w, *snap);
+  w.kv("depth", depth);
+  w.kv("covered_k", depth >= svc.spec().k);
+  w.kv("in_domain", snap->domain().contains({x, y}));
+  w.end_object();
+  return out.str();
+}
+
+std::string handle_load(CoverageService& svc) {
+  const auto snap = svc.snapshot();
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  snapshot_header(w, *snap);
+  w.kv("nodes", snap->size());
+  w.kv("max_range", snap->max_range());
+  w.kv("min_range", snap->min_range());
+  w.key("load").begin_object();
+  w.kv("max", snap->load().max_load);
+  w.kv("min", snap->load().min_load);
+  w.kv("total", snap->load().total_load);
+  w.kv("fairness", snap->load().fairness);
+  w.end_object();
+  w.end_object();
+  return out.str();
+}
+
+std::string handle_stats(CoverageService& svc) {
+  const CoverageService::Stats s = svc.stats();
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("epoch", static_cast<std::int64_t>(s.epoch));
+  w.kv("round", s.global_round);
+  w.kv("phases", s.phases);
+  w.kv("nodes", s.nodes);
+  w.kv("converged", s.converged);
+  w.kv("aborted", s.aborted);
+  w.kv("idle", s.idle);
+  w.kv("events_accepted", static_cast<std::int64_t>(s.events_accepted));
+  w.kv("events_applied", static_cast<std::int64_t>(s.events_applied));
+  w.kv("events_rejected", static_cast<std::int64_t>(s.events_rejected));
+  w.kv("queue_depth", static_cast<std::int64_t>(s.queue_depth));
+  w.kv("queries", static_cast<std::int64_t>(s.queries));
+  // The gauge registry is the /stats extension point: anything the process
+  // publishes (peak RSS, ...) rides along, in deterministic name order.
+  const auto gauges = obs::Registry::instance().gauges();
+  if (!gauges.empty()) {
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : gauges) w.kv(name, value);
+    w.end_object();
+  }
+  w.end_object();
+  return out.str();
+}
+
+std::string handle_health(CoverageService& svc) {
+  // The health endpoint *is* the heartbeat schema — one line, `{"hb":...`,
+  // parseable by obs::parse_heartbeat like any fleet heartbeat stream.
+  std::string line = obs::format_heartbeat(svc.health());
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.pop_back();
+  return line;
+}
+
+std::string handle_event(CoverageService& svc, const std::string& line) {
+  std::string body;
+  if (!flatjson::get_string(line, "spec", &body) || body.empty())
+    return error_response(
+        "event needs spec: the event body, e.g. "
+        "{\"op\":\"event\",\"spec\":\"add_nodes count=5\"}");
+  std::uint64_t id = 0;
+  try {
+    id = svc.submit_event_line(body);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("id", static_cast<std::int64_t>(id));
+  w.end_object();
+  return out.str();
+}
+
+std::string handle_drain(CoverageService& svc) {
+  svc.drain();
+  const auto snap = svc.snapshot();
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  snapshot_header(w, *snap);
+  w.kv("converged", snap->meta().converged);
+  w.kv("aborted", snap->meta().aborted);
+  w.end_object();
+  return out.str();
+}
+
+}  // namespace
+
+HandleResult handle_line(CoverageService& svc, const std::string& line) {
+  obs::ScopedSpan request_span("request");
+  svc.count_query();
+
+  std::string op;
+  if (!flatjson::get_string(line, "op", &op) || op.empty())
+    return {error_response("request needs op: knn, coverage, load, stats, "
+                           "health, event, drain, or shutdown"),
+            HandleAction::kRespond};
+
+  if (op == "knn") return {handle_knn(svc, line), HandleAction::kRespond};
+  if (op == "coverage")
+    return {handle_coverage(svc, line), HandleAction::kRespond};
+  if (op == "load") return {handle_load(svc), HandleAction::kRespond};
+  if (op == "stats") return {handle_stats(svc), HandleAction::kRespond};
+  if (op == "health") return {handle_health(svc), HandleAction::kRespond};
+  if (op == "event") return {handle_event(svc, line), HandleAction::kRespond};
+  if (op == "drain") return {handle_drain(svc), HandleAction::kRespond};
+  if (op == "shutdown") {
+    std::ostringstream out;
+    JsonWriter w(out, /*indent=*/0);
+    w.begin_object();
+    w.kv("ok", true);
+    w.kv("stopping", true);
+    w.end_object();
+    return {out.str(), HandleAction::kShutdown};
+  }
+  return {error_response("unknown op '" + op + "'"), HandleAction::kRespond};
+}
+
+}  // namespace laacad::serve

@@ -1,0 +1,161 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace laacad::serve {
+
+int serve_stdio(CoverageService& svc, std::istream& in, std::ostream& out) {
+  int handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const HandleResult result = handle_line(svc, line);
+    ++handled;
+    out << result.response << '\n';
+    out.flush();
+    if (result.action == HandleAction::kShutdown) break;
+  }
+  // EOF without a shutdown op gets the same graceful treatment: drain the
+  // queue, finish the final phase, leave state replayable.
+  svc.stop();
+  return handled;
+}
+
+TcpServer::TcpServer(CoverageService& svc, int port, int backlog)
+    : svc_(svc) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind port " +
+                             std::to_string(port));
+  }
+  if (::listen(listen_fd_, backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+namespace {
+
+/// Connection-scoped line reader over a raw fd.
+bool read_line(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const auto nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int TcpServer::serve() {
+  std::atomic<int> handled{0};
+  std::atomic<bool> shutting_down{false};
+  std::mutex conn_mu;             // guards open_fds + workers
+  std::vector<int> open_fds;      // -1 once a worker closed its slot
+  std::vector<std::thread> workers;
+
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (shutting_down.load() || errno != EINTR) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(conn_mu);
+    if (shutting_down.load()) {
+      ::close(fd);
+      break;
+    }
+    const std::size_t slot = open_fds.size();
+    open_fds.push_back(fd);
+    workers.emplace_back([this, fd, slot, &handled, &shutting_down, &conn_mu,
+                          &open_fds] {
+      std::string buffer, line;
+      while (read_line(fd, &buffer, &line)) {
+        if (line.empty()) continue;
+        const HandleResult result = handle_line(svc_, line);
+        handled.fetch_add(1);
+        if (!write_all(fd, result.response + "\n")) break;
+        if (result.action == HandleAction::kShutdown) {
+          shutting_down.store(true);
+          std::lock_guard<std::mutex> conn_lk(conn_mu);
+          // Unblock the accept loop and every idle connection so serve()
+          // can join all workers: half-close the sockets, do not close the
+          // fds (each worker closes its own slot, exactly once).
+          ::shutdown(listen_fd_, SHUT_RDWR);
+          for (const int other : open_fds)
+            if (other >= 0 && other != fd) ::shutdown(other, SHUT_RDWR);
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> conn_lk(conn_mu);
+      ::close(fd);
+      open_fds[slot] = -1;
+    });
+  }
+
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu);
+      if (workers.empty()) break;
+      t = std::move(workers.back());
+      workers.pop_back();
+    }
+    if (t.joinable()) t.join();
+  }
+  svc_.stop();
+  return handled.load();
+}
+
+}  // namespace laacad::serve

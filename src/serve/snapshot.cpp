@@ -1,0 +1,55 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace laacad::serve {
+
+Snapshot::Snapshot(const wsn::Domain& domain, const wsn::Network& live,
+                   Meta meta)
+    : meta_(meta), domain_(std::make_unique<wsn::Domain>(domain)) {
+  net_ = std::make_unique<wsn::Network>(domain_.get(), live.positions(),
+                                        live.gamma());
+  const auto& ranges = live.sensing_ranges();
+  double rmax = 0.0, rmin = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < net_->size(); ++i) {
+    net_->set_sensing_range(i, ranges[static_cast<std::size_t>(i)]);
+    rmax = std::max(rmax, ranges[static_cast<std::size_t>(i)]);
+    rmin = std::min(rmin, ranges[static_cast<std::size_t>(i)]);
+  }
+  max_range_ = rmax;
+  min_range_ = std::isfinite(rmin) ? rmin : 0.0;
+  load_ = wsn::load_report(*net_);
+  // Build the grid now, on the publisher's thread: snapshot queries are
+  // const and lock-free afterwards.
+  net_->warm_grid();
+}
+
+std::vector<NeighborInfo> Snapshot::closest_nodes(geom::Vec2 q, int k) const {
+  std::vector<NeighborInfo> out;
+  if (k <= 0) return out;
+  const auto ids = net_->k_nearest(q, std::min(k, net_->size()));
+  out.reserve(ids.size());
+  for (const int id : ids) {
+    NeighborInfo info;
+    info.id = id;
+    info.pos = net_->position(id);
+    info.sensing_range = net_->node(id).sensing_range;
+    info.dist = (info.pos - q).norm();
+    out.push_back(info);
+  }
+  return out;
+}
+
+int Snapshot::coverage_depth(geom::Vec2 q) const {
+  if (max_range_ <= 0.0) return 0;
+  int depth = 0;
+  for (const int id : net_->nodes_within(q, max_range_)) {
+    const double r = net_->node(id).sensing_range;
+    if ((net_->position(id) - q).norm() <= r) ++depth;
+  }
+  return depth;
+}
+
+}  // namespace laacad::serve
