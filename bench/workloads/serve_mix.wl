@@ -1,0 +1,12 @@
+# Default serving workload: knn-heavy query mix at a fixed offered rate,
+# with periodic churn so snapshots keep turning over mid-run. Mirrored in
+# examples/serve_bench.cpp as the embedded default.
+name        serve_mix
+requests    2000
+rate        500
+connections 2
+seed        7
+knn_k       3
+mix         knn=6 coverage=2 load=1 stats=1
+churn       every=250 fail_nodes count=2 pick=random
+churn       every=600 add_nodes count=3 deploy=uniform

@@ -1,0 +1,11 @@
+# Tiny fixed-count workload for CI and ctest: finishes in well under a
+# second, still exercises every verb plus churn. Closed loop (rate 0) so
+# the smoke never depends on the runner's clock resolution.
+name        serve_smoke
+requests    200
+rate        0
+connections 2
+seed        3
+knn_k       3
+mix         knn=5 coverage=2 load=1 stats=1 health=1
+churn       every=50 fail_nodes count=1 pick=random

@@ -16,8 +16,13 @@ std::size_t value_offset(std::string_view line, std::string_view key) {
       continue;
     }
     if (c == '"') {
-      if (line.compare(i, needle.size(), needle) == 0)
-        return i + needle.size();
+      if (line.compare(i, needle.size(), needle) == 0) {
+        // Skip the ": " an indented JsonWriter document puts after keys,
+        // so flattened multi-line documents scan like compact ones.
+        std::size_t at = i + needle.size();
+        while (at < line.size() && line[at] == ' ') ++at;
+        return at;
+      }
       in_string = true;
     }
   }
@@ -73,6 +78,56 @@ bool get_number(std::string_view line, std::string_view key, double* out) {
   char* end = nullptr;
   *out = std::strtod(buf, &end);
   return end == buf + n;
+}
+
+bool get_raw(std::string_view line, std::string_view key, std::string* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string_view::npos || at >= line.size()) return false;
+  const char first = line[at];
+  if (first == '"') {
+    // String: scan to the closing quote, honoring escapes.
+    for (std::size_t i = at + 1; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        ++i;
+      } else if (line[i] == '"') {
+        *out = std::string(line.substr(at, i + 1 - at));
+        return true;
+      }
+    }
+    return false;  // unterminated
+  }
+  if (first == '{' || first == '[') {
+    // Balanced nesting; quotes suspend brace counting so escaped quotes
+    // and structural characters inside string values are inert.
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = at; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '{' || c == '[') ++depth;
+      else if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) {
+          *out = std::string(line.substr(at, i + 1 - at));
+          return true;
+        }
+      }
+    }
+    return false;  // unbalanced
+  }
+  // Scalar (number / true / false / null): up to the enclosing , } or ].
+  std::size_t end = at;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ']')
+    ++end;
+  if (end == at) return false;
+  *out = std::string(line.substr(at, end - at));
+  return true;
 }
 
 bool get_bool(std::string_view line, std::string_view key, bool* out) {

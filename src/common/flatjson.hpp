@@ -24,4 +24,14 @@ bool get_number(std::string_view line, std::string_view key, double* out);
 /// Read a bool value (true/false literals).
 bool get_bool(std::string_view line, std::string_view key, bool* out);
 
+/// Extract the raw JSON text of a top-level value — scalars as written,
+/// strings including their quotes (escapes untouched), and nested
+/// objects/arrays as the full balanced {...}/[...] slice (brace matching
+/// skips string bodies, so escaped quotes and braces inside values cannot
+/// terminate the scan early). This is how a caller lifts a nested subtree
+/// (a histogram, a stats breakdown) out of a response line for re-embedding
+/// or further scanning. Returns false when the key is absent or the value
+/// is unterminated.
+bool get_raw(std::string_view line, std::string_view key, std::string* out);
+
 }  // namespace laacad::flatjson

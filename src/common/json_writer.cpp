@@ -168,6 +168,13 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  before_value();
+  out_ << json;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::null() {
   before_value();
   out_ << "null";

@@ -41,6 +41,12 @@ class JsonWriter {
   JsonWriter& value(bool v);
   JsonWriter& null();
 
+  /// Splice a pre-serialized JSON value verbatim (e.g. a sub-object lifted
+  /// from another document with flatjson::get_raw). The caller vouches that
+  /// `json` is one complete valid value; it is emitted as-is, so a compact
+  /// fragment stays compact even inside an indented document.
+  JsonWriter& raw_value(std::string_view json);
+
   /// Convenience: key + scalar value in one call.
   template <typename T>
   JsonWriter& kv(std::string_view k, T&& v) {

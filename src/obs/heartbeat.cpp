@@ -31,6 +31,9 @@ std::string format_heartbeat(const Heartbeat& hb) {
   w.kv("total", hb.total);
   w.kv("ok", hb.ok);
   if (hb.live >= 0) w.kv("live", hb.live);
+  if (hb.round >= 0) w.kv("round", hb.round);
+  if (hb.epoch >= 0) w.kv("epoch", hb.epoch);
+  if (hb.queue >= 0) w.kv("queue", hb.queue);
   w.kv("rate_per_s", hb.rate_per_s);  // NaN -> null by JsonWriter
   w.kv("eta_s", hb.eta_s);
   w.kv("ts_ms", hb.ts_ms);
@@ -57,6 +60,9 @@ bool parse_heartbeat(std::string_view line, Heartbeat* out) {
   if (get_number(line, "total", &v)) hb.total = static_cast<int>(v);
   if (get_number(line, "ok", &v)) hb.ok = static_cast<int>(v);
   if (get_number(line, "live", &v)) hb.live = static_cast<int>(v);
+  if (get_number(line, "round", &v)) hb.round = static_cast<int>(v);
+  if (get_number(line, "epoch", &v)) hb.epoch = static_cast<std::int64_t>(v);
+  if (get_number(line, "queue", &v)) hb.queue = static_cast<int>(v);
   if (get_number(line, "rate_per_s", &v)) hb.rate_per_s = v;
   if (get_number(line, "eta_s", &v)) hb.eta_s = v;
   if (get_number(line, "ts_ms", &v)) hb.ts_ms = static_cast<std::uint64_t>(v);

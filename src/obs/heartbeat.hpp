@@ -32,6 +32,9 @@ struct Heartbeat {
   int total = 0;      ///< trials this process owns
   int ok = 0;         ///< completed trials that verified
   int live = -1;      ///< fleet only: shards currently running
+  int round = -1;     ///< serve only: global rounds executed
+  std::int64_t epoch = -1;  ///< serve only: published snapshot epoch
+  int queue = -1;     ///< serve only: event-queue depth
   double rate_per_s = 0.0;  ///< completion rate (wall-clock)
   double eta_s = 0.0;       ///< projected seconds to completion (wall-clock)
   std::uint64_t ts_ms = 0;  ///< unix epoch milliseconds at emission

@@ -90,10 +90,15 @@ void accumulate_stage(ThreadBuffer& b, const char* name, std::uint64_t dur) {
     if (n == name) {
       ++total.count;
       total.total_ns += dur;
+      total.hist.record(dur);
       return;
     }
   }
-  b.stages.emplace_back(name, StageTotal{1, dur});
+  b.stages.emplace_back(name, StageTotal{});
+  StageTotal& total = b.stages.back().second;
+  total.count = 1;
+  total.total_ns = dur;
+  total.hist.record(dur);
 }
 
 void write_trace_json(const std::string& path,
@@ -263,6 +268,7 @@ TraceReport stop_trace() {
       } else {
         it->second.count += total.count;
         it->second.total_ns += total.total_ns;
+        it->second.hist.merge(total.hist);
       }
     }
   }

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace laacad::obs {
 
 namespace detail {
@@ -93,10 +95,15 @@ class ScopedSpan {
 void emit_span(const char* name, std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1, std::int64_t arg);
 
-/// One stage's accumulated wall-clock across a session.
+/// One stage's accumulated wall-clock across a session: totals plus the
+/// full duration distribution, so a report answers "p99 of the publish
+/// stage" and not just "time spent publishing". The histogram accumulates
+/// per thread (owner-thread writes only) and merges at stop_trace() —
+/// merge order cannot change its state (see obs/histogram.hpp).
 struct StageTotal {
   std::uint64_t count = 0;   ///< spans closed under this name
   std::uint64_t total_ns = 0;
+  Histogram hist;            ///< distribution of span durations (ns)
 };
 
 /// What stop_trace() hands back: deterministic span structure plus the

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -11,6 +12,14 @@
 namespace laacad::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
 
 std::string error_response(const std::string& what) {
   std::ostringstream out;
@@ -29,7 +38,43 @@ void snapshot_header(JsonWriter& w, const Snapshot& snap) {
   w.kv("round", snap.meta().global_round);
 }
 
-std::string handle_knn(CoverageService& svc, const std::string& line) {
+/// Marks the query -> serialize phase boundary inside a handler. The
+/// constructor starts the query phase; serialize() flips; the destructor
+/// closes whichever phase is open into `d`. Handlers that error out mid-
+/// parse simply never flip — the whole cost lands in the query phase.
+/// Each phase is also emitted as a span ("req_query"/"req_serialize"), so
+/// a traced daemon's TraceReport carries the same breakdown as histograms.
+class PhaseClock {
+ public:
+  explicit PhaseClock(PhaseDurations* d) : d_(d), mark_(Clock::now()) {}
+  void serialize() {
+    const Clock::time_point now = Clock::now();
+    d_->query_ns += ns_between(mark_, now);
+    obs::emit_span("req_query", mark_, now, 0);
+    mark_ = now;
+    in_query_ = false;
+  }
+  ~PhaseClock() {
+    const Clock::time_point now = Clock::now();
+    const std::uint64_t ns = ns_between(mark_, now);
+    if (in_query_) {
+      d_->query_ns += ns;
+      obs::emit_span("req_query", mark_, now, 0);
+    } else {
+      d_->serialize_ns += ns;
+      obs::emit_span("req_serialize", mark_, now, 0);
+    }
+  }
+
+ private:
+  PhaseDurations* d_;
+  Clock::time_point mark_;
+  bool in_query_ = true;
+};
+
+std::string handle_knn(CoverageService& svc, const std::string& line,
+                       PhaseDurations* d) {
+  PhaseClock phase(d);
   double x = 0.0, y = 0.0, kd = 0.0;
   if (!flatjson::get_number(line, "x", &x) ||
       !flatjson::get_number(line, "y", &y) || !std::isfinite(x) ||
@@ -41,6 +86,8 @@ std::string handle_knn(CoverageService& svc, const std::string& line) {
 
   const auto snap = svc.snapshot();
   const auto nodes = snap->closest_nodes({x, y}, k);
+
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
@@ -61,7 +108,9 @@ std::string handle_knn(CoverageService& svc, const std::string& line) {
   return out.str();
 }
 
-std::string handle_coverage(CoverageService& svc, const std::string& line) {
+std::string handle_coverage(CoverageService& svc, const std::string& line,
+                            PhaseDurations* d) {
+  PhaseClock phase(d);
   double x = 0.0, y = 0.0;
   if (!flatjson::get_number(line, "x", &x) ||
       !flatjson::get_number(line, "y", &y) || !std::isfinite(x) ||
@@ -70,19 +119,26 @@ std::string handle_coverage(CoverageService& svc, const std::string& line) {
 
   const auto snap = svc.snapshot();
   const int depth = snap->coverage_depth({x, y});
+  const bool covered = depth >= svc.spec().k;
+  const bool in_domain = snap->domain().contains({x, y});
+
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
   snapshot_header(w, *snap);
   w.kv("depth", depth);
-  w.kv("covered_k", depth >= svc.spec().k);
-  w.kv("in_domain", snap->domain().contains({x, y}));
+  w.kv("covered_k", covered);
+  w.kv("in_domain", in_domain);
   w.end_object();
   return out.str();
 }
 
-std::string handle_load(CoverageService& svc) {
+std::string handle_load(CoverageService& svc, PhaseDurations* d) {
+  PhaseClock phase(d);
   const auto snap = svc.snapshot();
+
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
@@ -100,8 +156,14 @@ std::string handle_load(CoverageService& svc) {
   return out.str();
 }
 
-std::string handle_stats(CoverageService& svc) {
+std::string handle_stats(CoverageService& svc, PhaseDurations* d) {
+  PhaseClock phase(d);
   const CoverageService::Stats s = svc.stats();
+  const double snapshot_age_s = svc.snapshot_age_s();
+  const int staleness = svc.snapshot_staleness_rounds();
+  const obs::Histogram publish = svc.publish_histogram();
+
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
@@ -118,6 +180,18 @@ std::string handle_stats(CoverageService& svc) {
   w.kv("events_rejected", static_cast<std::int64_t>(s.events_rejected));
   w.kv("queue_depth", static_cast<std::int64_t>(s.queue_depth));
   w.kv("queries", static_cast<std::int64_t>(s.queries));
+  // Serving-health block: snapshot freshness plus the publish-cost
+  // distribution. Wall-clock values — reading them here is fine, copying
+  // them into a deterministic artifact is not.
+  w.key("serve").begin_object();
+  w.kv("snapshot_age_s", snapshot_age_s);
+  w.kv("snapshot_staleness_rounds", staleness);
+  w.key("publish");
+  publish.write_percentiles_json(w);
+  w.end_object();
+  // Per-verb request latency, split queue/query/serialize.
+  w.key("latency");
+  svc.request_latency().write_stats_json(w);
   // The gauge registry is the /stats extension point: anything the process
   // publishes (peak RSS, ...) rides along, in deterministic name order.
   const auto gauges = obs::Registry::instance().gauges();
@@ -130,16 +204,21 @@ std::string handle_stats(CoverageService& svc) {
   return out.str();
 }
 
-std::string handle_health(CoverageService& svc) {
+std::string handle_health(CoverageService& svc, PhaseDurations* d) {
+  PhaseClock phase(d);
   // The health endpoint *is* the heartbeat schema — one line, `{"hb":...`,
   // parseable by obs::parse_heartbeat like any fleet heartbeat stream.
-  std::string line = obs::format_heartbeat(svc.health());
+  const obs::Heartbeat hb = svc.health();
+  phase.serialize();
+  std::string line = obs::format_heartbeat(hb);
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
     line.pop_back();
   return line;
 }
 
-std::string handle_event(CoverageService& svc, const std::string& line) {
+std::string handle_event(CoverageService& svc, const std::string& line,
+                         PhaseDurations* d) {
+  PhaseClock phase(d);
   std::string body;
   if (!flatjson::get_string(line, "spec", &body) || body.empty())
     return error_response(
@@ -151,6 +230,7 @@ std::string handle_event(CoverageService& svc, const std::string& line) {
   } catch (const std::exception& e) {
     return error_response(e.what());
   }
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
@@ -160,9 +240,11 @@ std::string handle_event(CoverageService& svc, const std::string& line) {
   return out.str();
 }
 
-std::string handle_drain(CoverageService& svc) {
+std::string handle_drain(CoverageService& svc, PhaseDurations* d) {
+  PhaseClock phase(d);
   svc.drain();
   const auto snap = svc.snapshot();
+  phase.serialize();
   std::ostringstream out;
   JsonWriter w(out, /*indent=*/0);
   w.begin_object();
@@ -176,33 +258,56 @@ std::string handle_drain(CoverageService& svc) {
 }  // namespace
 
 HandleResult handle_line(CoverageService& svc, const std::string& line) {
+  return handle_line(svc, line, Clock::now());
+}
+
+HandleResult handle_line(CoverageService& svc, const std::string& line,
+                         std::chrono::steady_clock::time_point received_at) {
   obs::ScopedSpan request_span("request");
+  const Clock::time_point dispatched = Clock::now();
   svc.count_query();
 
-  std::string op;
-  if (!flatjson::get_string(line, "op", &op) || op.empty())
-    return {error_response("request needs op: knn, coverage, load, stats, "
-                           "health, event, drain, or shutdown"),
-            HandleAction::kRespond};
+  PhaseDurations d;
+  d.queue_ns = ns_between(received_at, dispatched);
 
-  if (op == "knn") return {handle_knn(svc, line), HandleAction::kRespond};
-  if (op == "coverage")
-    return {handle_coverage(svc, line), HandleAction::kRespond};
-  if (op == "load") return {handle_load(svc), HandleAction::kRespond};
-  if (op == "stats") return {handle_stats(svc), HandleAction::kRespond};
-  if (op == "health") return {handle_health(svc), HandleAction::kRespond};
-  if (op == "event") return {handle_event(svc, line), HandleAction::kRespond};
-  if (op == "drain") return {handle_drain(svc), HandleAction::kRespond};
-  if (op == "shutdown") {
-    std::ostringstream out;
-    JsonWriter w(out, /*indent=*/0);
-    w.begin_object();
-    w.kv("ok", true);
-    w.kv("stopping", true);
-    w.end_object();
-    return {out.str(), HandleAction::kShutdown};
+  std::string op;
+  HandleResult result;
+  if (!flatjson::get_string(line, "op", &op) || op.empty()) {
+    result = {error_response("request needs op: knn, coverage, load, stats, "
+                             "health, event, drain, or shutdown"),
+              HandleAction::kRespond};
+    d.total_ns = d.queue_ns + ns_between(dispatched, Clock::now());
+    svc.request_latency().record(Verb::kOther, d);
+    return result;
   }
-  return {error_response("unknown op '" + op + "'"), HandleAction::kRespond};
+
+  const Verb verb = verb_from_op(op);
+  {
+    obs::ScopedSpan dispatch_span("req_dispatch",
+                                  static_cast<std::int64_t>(verb));
+    if (op == "knn") result.response = handle_knn(svc, line, &d);
+    else if (op == "coverage") result.response = handle_coverage(svc, line, &d);
+    else if (op == "load") result.response = handle_load(svc, &d);
+    else if (op == "stats") result.response = handle_stats(svc, &d);
+    else if (op == "health") result.response = handle_health(svc, &d);
+    else if (op == "event") result.response = handle_event(svc, line, &d);
+    else if (op == "drain") result.response = handle_drain(svc, &d);
+    else if (op == "shutdown") {
+      std::ostringstream out;
+      JsonWriter w(out, /*indent=*/0);
+      w.begin_object();
+      w.kv("ok", true);
+      w.kv("stopping", true);
+      w.end_object();
+      result = {out.str(), HandleAction::kShutdown};
+    } else {
+      result.response = error_response("unknown op '" + op + "'");
+    }
+  }
+
+  d.total_ns = d.queue_ns + ns_between(dispatched, Clock::now());
+  svc.request_latency().record(verb, d);
+  return result;
 }
 
 }  // namespace laacad::serve

@@ -19,6 +19,7 @@
 // client can correlate answers with published state.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "serve/service.hpp"
@@ -40,6 +41,14 @@ struct HandleResult {
 /// rejected events become {"ok":false,...} responses. `shutdown` returns
 /// kShutdown with the response; the transport owns calling
 /// CoverageService::stop() (so it can stop accepting first).
+///
+/// Every request is recorded into the service's RequestLatency, attributed
+/// to its verb and split into queue (received_at -> dispatch), query, and
+/// serialize phases. The first overload stamps received_at = now (zero
+/// queue wait); transports that know when the line finished arriving pass
+/// it explicitly so head-of-line blocking on a connection is measured.
 HandleResult handle_line(CoverageService& svc, const std::string& line);
+HandleResult handle_line(CoverageService& svc, const std::string& line,
+                         std::chrono::steady_clock::time_point received_at);
 
 }  // namespace laacad::serve

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -23,7 +24,8 @@ int serve_stdio(CoverageService& svc, std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const HandleResult result = handle_line(svc, line);
+    const HandleResult result =
+        handle_line(svc, line, std::chrono::steady_clock::now());
     ++handled;
     out << result.response << '\n';
     out.flush();
@@ -69,8 +71,14 @@ TcpServer::~TcpServer() {
 
 namespace {
 
-/// Connection-scoped line reader over a raw fd.
-bool read_line(int fd, std::string* buffer, std::string* line) {
+/// Connection-scoped line reader over a raw fd. `arrival` is stamped after
+/// every successful read(), so when a pipelined client leaves several
+/// requests in one TCP segment, each extracted line keeps the timestamp of
+/// the read that delivered its bytes — that is what makes the protocol
+/// layer's queue-wait phase measure real head-of-line blocking instead of
+/// always reading zero. Interrupted reads (EINTR) are retried.
+bool read_line(int fd, std::string* buffer, std::string* line,
+               std::chrono::steady_clock::time_point* arrival) {
   for (;;) {
     const auto nl = buffer->find('\n');
     if (nl != std::string::npos) {
@@ -81,15 +89,20 @@ bool read_line(int fd, std::string* buffer, std::string* line) {
     }
     char chunk[4096];
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     buffer->append(chunk, static_cast<std::size_t>(n));
+    *arrival = std::chrono::steady_clock::now();
   }
 }
 
+/// Loop until every byte is written: short writes (large stats/coverage
+/// responses against a small socket buffer) and EINTR are both resumed.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
@@ -120,10 +133,17 @@ int TcpServer::serve() {
     open_fds.push_back(fd);
     workers.emplace_back([this, fd, slot, &handled, &shutting_down, &conn_mu,
                           &open_fds] {
+      // Request/response turnarounds are latency-bound, not throughput-
+      // bound: disable Nagle so a response is not parked waiting for an
+      // ACK (40 ms delayed-ACK stalls would dominate every percentile a
+      // load generator measures).
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       std::string buffer, line;
-      while (read_line(fd, &buffer, &line)) {
+      auto arrival = std::chrono::steady_clock::now();
+      while (read_line(fd, &buffer, &line, &arrival)) {
         if (line.empty()) continue;
-        const HandleResult result = handle_line(svc_, line);
+        const HandleResult result = handle_line(svc_, line, arrival);
         handled.fetch_add(1);
         if (!write_all(fd, result.response + "\n")) break;
         if (result.action == HandleAction::kShutdown) {

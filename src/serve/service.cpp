@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace laacad::serve {
@@ -110,6 +111,9 @@ obs::Heartbeat CoverageService::health() const {
   hb.total = static_cast<int>(s.events_accepted);
   hb.ok = (s.converged && !s.aborted) ? 1 : 0;
   hb.live = s.nodes;
+  hb.round = s.global_round;
+  hb.epoch = static_cast<std::int64_t>(s.epoch);
+  hb.queue = static_cast<int>(s.queue_depth);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
@@ -152,6 +156,7 @@ bool CoverageService::queue_nonempty() const {
 
 void CoverageService::publish(bool finalized, bool converged) {
   Snapshot::Meta meta;
+  std::size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     meta.epoch = ++epoch_;
@@ -161,13 +166,42 @@ void CoverageService::publish(bool finalized, bool converged) {
     meta.converged = converged;
     meta.aborted = aborted_;
     meta.finalized = finalized;
+    queue_depth = queue_.size();
   }
   obs::ScopedSpan publish_span("publish",
                                static_cast<std::int64_t>(meta.epoch));
+  const auto t0 = std::chrono::steady_clock::now();
   auto sp =
       std::make_shared<const Snapshot>(world_.domain(), *world_.net, meta);
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    snap_ = std::move(sp);
+    last_publish_ = std::chrono::steady_clock::now();
+  }
+  const auto publish_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  publish_hist_.record(publish_ns);
+  // Wall-clock/machine gauges ride the registry into the `stats` verb and
+  // heartbeats — never into BENCH artifacts or the replayable state.
+  auto& reg = obs::Registry::instance();
+  reg.set_gauge("serve.publish_last_us",
+                static_cast<double>(publish_ns) / 1000.0);
+  reg.set_gauge("serve.queue_depth", static_cast<double>(queue_depth));
+}
+
+double CoverageService::snapshot_age_s() const {
   std::lock_guard<std::mutex> lk(snap_mu_);
-  snap_ = std::move(sp);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_publish_)
+      .count();
+}
+
+int CoverageService::snapshot_staleness_rounds() const {
+  const auto snap = snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  return global_round_ - snap->meta().global_round;
 }
 
 void CoverageService::emit_heartbeat() {
@@ -197,6 +231,9 @@ void CoverageService::run_one_phase() {
     if (converged) break;
     if (publish_every_ > 0 && rounds_in_phase % publish_every_ == 0)
       publish(/*finalized=*/false, /*converged=*/false);
+    // Per-round beat: a supervisor watches a daemon the way it watches
+    // campaign shards — rounds done, events applied, epoch, queue depth.
+    if (heartbeat_) emit_heartbeat();
   }
   // One finalize per phase, always — finalize advances the provider epoch,
   // so replay must hit the same finalize points to stay bit-identical.

@@ -34,8 +34,10 @@
 #include <thread>
 
 #include "obs/heartbeat.hpp"
+#include "obs/histogram.hpp"
 #include "scenario/apply.hpp"
 #include "serve/event_log.hpp"
+#include "serve/latency.hpp"
 #include "serve/snapshot.hpp"
 
 namespace laacad::serve {
@@ -117,6 +119,21 @@ class CoverageService {
   /// Count one read query (protocol layer calls this per request).
   void count_query();
 
+  /// Per-verb request-latency histograms (protocol layer records; the
+  /// `stats` verb reads). Lock-free on the record side.
+  RequestLatency& request_latency() { return req_latency_; }
+  const RequestLatency& request_latency() const { return req_latency_; }
+
+  /// Distribution of publish() wall-clock (snapshot deep copy + swap).
+  obs::Histogram publish_histogram() const { return publish_hist_.snapshot(); }
+
+  /// Seconds since the current snapshot was published (wall-clock).
+  double snapshot_age_s() const;
+
+  /// Rounds the live world has advanced past the published snapshot — the
+  /// deterministic staleness measure (0 right after a phase-end publish).
+  int snapshot_staleness_rounds() const;
+
   const scenario::ScenarioSpec& spec() const { return world_.spec; }
   const EventLog& log() const { return log_; }
 
@@ -160,6 +177,10 @@ class CoverageService {
   mutable std::mutex snap_mu_;
   std::shared_ptr<const Snapshot> snap_;
   std::uint64_t epoch_ = 0;
+  std::chrono::steady_clock::time_point last_publish_;  ///< under snap_mu_
+
+  RequestLatency req_latency_;
+  obs::AtomicHistogram publish_hist_;
 
   std::chrono::steady_clock::time_point start_time_;
 };

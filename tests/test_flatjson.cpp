@@ -1,0 +1,103 @@
+// flatjson regression tests — the scanner both ends of every line format
+// (heartbeats, serve protocol, bench reports) rely on. The cases that have
+// bitten or nearly bitten:
+//
+//  * escaped quotes inside string values must not derail key location or
+//    string extraction (an event spec like "pick=\"random\"" is a value,
+//    not a key boundary);
+//  * get_raw must slice nested objects/arrays by balanced braces while
+//    suspending the count inside string bodies — braces and brackets in
+//    strings are data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/flatjson.hpp"
+
+namespace laacad::flatjson {
+namespace {
+
+TEST(FlatJsonTest, EscapedQuotesInsideStringValues) {
+  const std::string line =
+      R"({"a":"say \"hi\"","b":"tab\there","after":7,"c":"back\\slash"})";
+  std::string s;
+  ASSERT_TRUE(get_string(line, "a", &s));
+  EXPECT_EQ(s, "say \"hi\"");
+  ASSERT_TRUE(get_string(line, "b", &s));
+  EXPECT_EQ(s, "tab\there");
+  ASSERT_TRUE(get_string(line, "c", &s));
+  EXPECT_EQ(s, "back\\slash");
+  // Keys after an escaped-quote value still resolve at top level.
+  double n = 0.0;
+  ASSERT_TRUE(get_number(line, "after", &n));
+  EXPECT_EQ(n, 7.0);
+}
+
+TEST(FlatJsonTest, KeyTextInsideValueIsNotAKey) {
+  // "x" appears inside two string values; only the real top-level key with
+  // a following colon may match.
+  const std::string line = R"({"msg":"\"x\": 1 is not a key","x":42})";
+  double n = 0.0;
+  ASSERT_TRUE(get_number(line, "x", &n));
+  EXPECT_EQ(n, 42.0);
+}
+
+TEST(FlatJsonTest, NumberBoolAndNull) {
+  const std::string line = R"({"f":-1.5e3,"t":true,"g":false,"v":null})";
+  double n = 0.0;
+  ASSERT_TRUE(get_number(line, "f", &n));
+  EXPECT_EQ(n, -1500.0);
+  ASSERT_TRUE(get_number(line, "v", &n));
+  EXPECT_TRUE(std::isnan(n));
+  bool b = false;
+  ASSERT_TRUE(get_bool(line, "t", &b));
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(get_bool(line, "g", &b));
+  EXPECT_FALSE(b);
+  EXPECT_FALSE(get_bool(line, "f", &b));
+  EXPECT_FALSE(get_number(line, "missing", &n));
+}
+
+TEST(FlatJsonTest, GetRawScalars) {
+  const std::string line = R"({"n":12.5,"s":"a \"b\" c","t":true,"z":null})";
+  std::string raw;
+  ASSERT_TRUE(get_raw(line, "n", &raw));
+  EXPECT_EQ(raw, "12.5");
+  ASSERT_TRUE(get_raw(line, "s", &raw));
+  EXPECT_EQ(raw, R"("a \"b\" c")");  // quotes and escapes preserved
+  ASSERT_TRUE(get_raw(line, "t", &raw));
+  EXPECT_EQ(raw, "true");
+  ASSERT_TRUE(get_raw(line, "z", &raw));
+  EXPECT_EQ(raw, "null");
+}
+
+TEST(FlatJsonTest, GetRawNestedStructures) {
+  const std::string line =
+      R"({"serve":{"age":0.5,"pub":{"p50":1,"tags":["a","b"]}},)"
+      R"("tricky":{"s":"brace } in \"string\"","arr":[1,{"x":2}]},"tail":3})";
+  std::string raw;
+  ASSERT_TRUE(get_raw(line, "serve", &raw));
+  EXPECT_EQ(raw, R"({"age":0.5,"pub":{"p50":1,"tags":["a","b"]}})");
+  // Braces inside string bodies must not close the slice early.
+  ASSERT_TRUE(get_raw(line, "tricky", &raw));
+  EXPECT_EQ(raw, R"({"s":"brace } in \"string\"","arr":[1,{"x":2}]})");
+  // Scanner contract, not parser contract: the first "key": occurrence
+  // outside any string wins, nested or not — callers pick keys that are
+  // unique at top level (as the serve stats / bench report formats do).
+  ASSERT_TRUE(get_raw(line, "arr", &raw));
+  EXPECT_EQ(raw, R"([1,{"x":2}])");
+  ASSERT_TRUE(get_raw(line, "tail", &raw));
+  EXPECT_EQ(raw, "3");
+
+  // Arrays slice the same way.
+  const std::string arr_line = R"({"h":[[0,1],[700,3]],"k":9})";
+  ASSERT_TRUE(get_raw(arr_line, "h", &raw));
+  EXPECT_EQ(raw, "[[0,1],[700,3]]");
+
+  // Unterminated value: refused, not sliced to end-of-line.
+  EXPECT_FALSE(get_raw(R"({"open":{"a":1)", "open", &raw));
+}
+
+}  // namespace
+}  // namespace laacad::flatjson

@@ -487,6 +487,40 @@ TEST(HeartbeatTest, FleetFieldsAndNullEta) {
   EXPECT_TRUE(std::isnan(back.eta_s));
 }
 
+TEST(HeartbeatTest, ServeFieldsRoundTripAndStayOptional) {
+  Heartbeat hb;
+  hb.kind = "serve";
+  hb.name = "serve_base";
+  hb.done = 3;  // phases finished
+  hb.live = 1;
+  hb.round = 42;
+  hb.epoch = 17;
+  hb.queue = 2;
+  const std::string line = format_heartbeat(hb);
+  EXPECT_NE(line.find("\"round\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"epoch\":17"), std::string::npos);
+  EXPECT_NE(line.find("\"queue\":2"), std::string::npos);
+  Heartbeat back;
+  ASSERT_TRUE(parse_heartbeat(line, &back));
+  EXPECT_EQ(back.round, 42);
+  EXPECT_EQ(back.epoch, 17);
+  EXPECT_EQ(back.queue, 2);
+
+  // Non-serve heartbeats never grow the fields: absent on the wire, and
+  // sentinels after a parse.
+  Heartbeat fleet;
+  fleet.kind = "fleet";
+  fleet.name = "ladder";
+  const std::string fleet_line = format_heartbeat(fleet);
+  EXPECT_EQ(fleet_line.find("\"round\""), std::string::npos);
+  EXPECT_EQ(fleet_line.find("\"queue\""), std::string::npos);
+  Heartbeat fleet_back;
+  ASSERT_TRUE(parse_heartbeat(fleet_line, &fleet_back));
+  EXPECT_EQ(fleet_back.round, -1);
+  EXPECT_EQ(fleet_back.epoch, -1);
+  EXPECT_EQ(fleet_back.queue, -1);
+}
+
 TEST(HeartbeatTest, RejectsNonHeartbeatLines) {
   EXPECT_FALSE(is_heartbeat_line("[1/4] trial 3: ok"));
   EXPECT_FALSE(is_heartbeat_line("{\"schema\":\"laacad.campaign.v1\"}"));
