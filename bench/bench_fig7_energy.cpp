@@ -67,7 +67,7 @@ void experiment() {
        g += kPerSize) {
     const std::string& n = result.groups[g].values[0].second;
     std::vector<double> maxload, total;
-    for (int j = 0; j < kPerSize; ++j) {
+    for (std::size_t j = 0; j < kPerSize; ++j) {
       maxload.push_back(result.groups[g + j].metrics[max_m].mean);
       total.push_back(result.groups[g + j].metrics[tot_m].mean);
     }

@@ -82,7 +82,7 @@ void experiment() {
       rows,
       [&rows](const campaign::TrialPoint& pt,
               const scenario::ScenarioRunner& runner,
-              const scenario::ScenarioResult& result) {
+              const scenario::ScenarioResult& sres) {
         ObstacleRow& row = rows[static_cast<std::size_t>(pt.trial)];
         const wsn::Network& net = runner.network();
         row.nodes = net.size();
@@ -90,7 +90,7 @@ void experiment() {
         for (const wsn::Node& node : net.nodes())
           row.feasible = row.feasible && runner.domain().contains(node.pos);
         row.clusters = cluster_count(
-            net.positions(), 0.10 * result.phases.back().final_max_range);
+            net.positions(), 0.10 * sres.phases.back().final_max_range);
         row.verified_depth =
             cov::critical_point_coverage(runner.domain(),
                                          cov::sensing_disks(net))

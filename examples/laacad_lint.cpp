@@ -1,0 +1,73 @@
+// laacad_lint — the in-tree determinism linter. Lexes every .hpp/.cpp
+// under ROOT (default: src), resolves the per-directory rule policy, and
+// exits nonzero on any finding that is not covered by a justified
+// `// lint:allow(<rule>): <reason>` escape. Findings print as
+// `file:line rule message`; every suppression that fired is listed in
+// the summary so exemptions stay reviewable.
+//
+//   laacad_lint [--policy FILE] [ROOT]
+//
+// With no --policy, ROOT/../.lint-policy is used when present (the repo
+// layout: policy beside src/), else the built-in base rules.
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "lint/linter.hpp"
+#include "lint/policy.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--policy FILE] [ROOT]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string policy_path;
+  std::string root = "src";
+  bool root_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy") {
+      if (++i >= argc) return usage(argv[0]);
+      policy_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return usage(argv[0]);
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    namespace fs = std::filesystem;
+    laacad::lint::Policy policy;
+    if (!policy_path.empty()) {
+      policy = laacad::lint::Policy::load(policy_path);
+    } else {
+      const fs::path beside = fs::path(root).parent_path() / ".lint-policy";
+      if (fs::exists(beside))
+        policy = laacad::lint::Policy::load(beside.string());
+    }
+
+    laacad::lint::Linter linter(policy);
+    linter.add_directory(root);
+    const auto result = linter.run();
+    laacad::lint::write_report(std::cout, result);
+    return result.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "laacad_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -76,7 +76,6 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (flag == "--quiet") opt.quiet = true;
     else if (flag == "--heartbeat") opt.heartbeat = true;
     else if (flag == "--hole") opt.hole = true;
-    else if (const char* v = nullptr; false) { (void)v; }
     else if (flag == "--k") { if (auto* v = next()) opt.k = std::atoi(v); }
     else if (flag == "--nodes") { if (auto* v = next()) opt.nodes = std::atoi(v); }
     else if (flag == "--seed") { if (auto* v = next()) opt.seed = std::strtoull(v, nullptr, 10); }

@@ -220,6 +220,8 @@ int main(int argc, char** argv) {
 
     std::vector<RungBudget> budgets;
     if (!budget_path.empty()) budgets = load_budget(budget_path);
+    // lint:allow(ambient-env): gates *extra* budget assertions only — rung
+    // results and BENCH bytes are identical with or without it
     const bool enforce_env = std::getenv("LAACAD_ENFORCE_BUDGET") != nullptr;
 
     // --heartbeat emits one fleet-schema line per finished rung (a ladder
@@ -263,9 +265,12 @@ int main(int argc, char** argv) {
       const obs::CounterScope counters;
       if (!trace_path.empty())
         obs::start_trace(rung_trace_path(trace_path, n));
+      // lint:allow(wall-clock): per-rung wall bracket feeds the timing
+      // fields (wall_ms_per_round), never the deterministic ones
       const auto t0 = std::chrono::steady_clock::now();
       campaign::CampaignScheduler scheduler(std::move(rung), std::move(opt));
       const campaign::CampaignResult result = scheduler.run();
+      // lint:allow(wall-clock): closing bracket of the rung wall timer
       const auto t1 = std::chrono::steady_clock::now();
       obs::TraceReport trace_report;
       if (!trace_path.empty()) trace_report = obs::stop_trace();

@@ -1,0 +1,202 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace laacad::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line tracking and backslash-newline
+/// splicing (a continuation never terminates a directive or // comment).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool done() const { return i_ >= s_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+
+  char take() {
+    const char c = s_[i_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// True (and consumed) when the cursor sits on a line continuation.
+  bool take_continuation() {
+    if (peek() != '\\') return false;
+    std::size_t j = i_ + 1;
+    while (j < s_.size() && (s_[j] == ' ' || s_[j] == '\t' || s_[j] == '\r'))
+      ++j;
+    if (j >= s_.size() || s_[j] != '\n') return false;
+    i_ = j;
+    take();  // the newline, counted
+    return true;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  Cursor c(source);
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    const int line = c.line();
+
+    // Whitespace.
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      if (ch == '\n') at_line_start = true;
+      c.take();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      c.take();
+      c.take();
+      std::string text;
+      while (!c.done()) {
+        if (c.take_continuation()) continue;
+        if (c.peek() == '\n') break;
+        text += c.take();
+      }
+      out.push_back({TokKind::kComment, text, line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.take();
+      c.take();
+      std::string text;
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) text += c.take();
+      if (!c.done()) {
+        c.take();
+        c.take();
+      }
+      out.push_back({TokKind::kComment, text, line});
+      at_line_start = false;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line, up to an unescaped
+    // newline. Comments on the line are left inside the directive text —
+    // no pragma escapes live on directive lines.
+    if (ch == '#' && at_line_start) {
+      c.take();
+      std::string text;
+      while (!c.done()) {
+        if (c.take_continuation()) {
+          text += ' ';
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        text += c.take();
+      }
+      out.push_back({TokKind::kDirective, text, line});
+      continue;
+    }
+    at_line_start = false;
+
+    // Identifiers — with raw-string detection on R"/u8R"/LR"/uR"/UR".
+    if (ident_start(ch)) {
+      std::string text;
+      while (!c.done() && ident_char(c.peek())) text += c.take();
+      const bool raw_prefix = (text == "R" || text == "u8R" || text == "LR" ||
+                               text == "uR" || text == "UR");
+      if (raw_prefix && c.peek() == '"') {
+        c.take();  // opening quote
+        std::string delim;
+        while (!c.done() && c.peek() != '(') delim += c.take();
+        if (!c.done()) c.take();  // '('
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (!c.done()) {
+          if (c.peek() == ')') {
+            bool match = true;
+            for (std::size_t k = 0; k < close.size(); ++k)
+              if (c.peek(k) != close[k]) {
+                match = false;
+                break;
+              }
+            if (match) {
+              for (std::size_t k = 0; k < close.size(); ++k) c.take();
+              break;
+            }
+          }
+          body += c.take();
+        }
+        out.push_back({TokKind::kString, body, line});
+        continue;
+      }
+      out.push_back({TokKind::kIdent, text, line});
+      continue;
+    }
+
+    // Numbers (pp-number: digits, letters, quotes-as-separators, dots,
+    // exponent signs). Leading '.' followed by a digit is a number too.
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string text;
+      text += c.take();
+      while (!c.done()) {
+        const char n = c.peek();
+        if (ident_char(n) || n == '.' || n == '\'') {
+          text += c.take();
+          continue;
+        }
+        if ((n == '+' || n == '-') && !text.empty()) {
+          const char prev = text.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            text += c.take();
+            continue;
+          }
+        }
+        break;
+      }
+      out.push_back({TokKind::kNumber, text, line});
+      continue;
+    }
+
+    // String and character literals (escape-aware).
+    if (ch == '"' || ch == '\'') {
+      const char quote = c.take();
+      std::string text;
+      while (!c.done() && c.peek() != quote) {
+        if (c.peek() == '\\') {
+          text += c.take();
+          if (!c.done()) text += c.take();
+          continue;
+        }
+        if (c.peek() == '\n') break;  // unterminated: stop at the newline
+        text += c.take();
+      }
+      if (!c.done() && c.peek() == quote) c.take();
+      out.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, text, line});
+      continue;
+    }
+
+    // Everything else: single-character punctuation.
+    out.push_back({TokKind::kPunct, std::string(1, c.take()), line});
+  }
+  return out;
+}
+
+}  // namespace laacad::lint

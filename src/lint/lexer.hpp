@@ -1,0 +1,37 @@
+// Comment/string-aware C++ tokenizer for laacad_lint. This is not a
+// compiler front end: it produces a flat token stream (identifiers,
+// pp-numbers, string/char literals, punctuation, comments, preprocessor
+// directives) with line numbers, which is exactly enough for the lexical
+// determinism rules in rules.hpp. Comments are *kept* as tokens so the
+// pragma scanner can find `// lint:allow(...)` escapes; raw strings,
+// line continuations, and multi-line block comments are handled so a
+// banned identifier inside a literal can never produce a finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace laacad::lint {
+
+enum class TokKind {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< pp-number (covers all numeric literal forms)
+  kString,     ///< "..." or R"delim(...)delim", text excludes quotes
+  kChar,       ///< '...'
+  kPunct,      ///< single punctuation character
+  kComment,    ///< // or /* */, text excludes the comment markers
+  kDirective,  ///< whole preprocessor line, text excludes the leading '#'
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Lex `source` best-effort: malformed input (unterminated literal or
+/// comment) never throws — the remainder is swallowed into the open token
+/// so rules still see everything before the defect.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace laacad::lint

@@ -1,0 +1,152 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace laacad::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<std::string>& taint_targets() {
+  static const std::vector<std::string> kTargets = {
+      "common/json_writer.hpp",
+      "campaign/manifest.hpp",
+  };
+  return kTargets;
+}
+
+std::string dir_of(const std::string& rel_path) {
+  const auto slash = rel_path.rfind('/');
+  return slash == std::string::npos ? "" : rel_path.substr(0, slash + 1);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Linter::Linter(Policy policy) : policy_(std::move(policy)) {}
+
+void Linter::add_file(const std::string& rel_path, const std::string& source) {
+  files_[rel_path] = lex(source);
+}
+
+void Linter::add_directory(const std::string& root_dir) {
+  const fs::path root(root_dir);
+  if (!fs::is_directory(root))
+    throw std::runtime_error("lint root '" + root_dir +
+                             "' is not a directory");
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+      throw std::runtime_error("cannot read '" + p.string() + "'");
+    std::ostringstream body;
+    body << in.rdbuf();
+    add_file(fs::relative(p, root).generic_string(), body.str());
+  }
+}
+
+LintResult Linter::run() const {
+  // Resolve each file's quoted includes against the scanned set: the repo
+  // roots quoted includes at src/, with same-directory paths as the
+  // fallback spelling.
+  std::map<std::string, std::vector<std::string>> deps;
+  for (const auto& [rel, tokens] : files_) {
+    auto& out = deps[rel];
+    for (const auto& inc : quoted_includes(tokens)) {
+      if (files_.count(inc)) {
+        out.push_back(inc);
+      } else {
+        const std::string sibling = dir_of(rel) + inc;
+        if (files_.count(sibling)) out.push_back(sibling);
+      }
+    }
+  }
+
+  // Transitive include closure per file (iterative DFS; cycles fine).
+  std::map<std::string, std::set<std::string>> closure;
+  for (const auto& [rel, tokens] : files_) {
+    auto& seen = closure[rel];
+    std::vector<std::string> stack = {rel};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (!seen.insert(cur).second) continue;
+      const auto it = deps.find(cur);
+      if (it == deps.end()) continue;
+      for (const auto& next : it->second) stack.push_back(next);
+    }
+  }
+
+  // Taint: first a file's own closure, then propagation from every
+  // tainted translation unit to everything it compiles in.
+  std::map<std::string, std::string> taint;  // file -> attribution
+  for (const auto& [rel, seen] : closure)
+    for (const auto& target : taint_targets())
+      if (seen.count(target)) {
+        taint.emplace(rel, target);
+        break;
+      }
+  for (const auto& [rel, seen] : closure) {
+    if (!ends_with(rel, ".cpp")) continue;
+    const auto t = taint.find(rel);
+    if (t == taint.end()) continue;
+    for (const auto& member : seen)
+      taint.emplace(member, t->second + " (via " + rel + ")");
+  }
+
+  LintResult result;
+  result.files_scanned = static_cast<int>(files_.size());
+  for (const auto& [rel, tokens] : files_) {
+    FileCheckInput in;
+    in.rel_path = rel;
+    in.tokens = &tokens;
+    in.rules = policy_.rules_for(rel);
+    const auto t = taint.find(rel);
+    if (t != taint.end()) {
+      in.tainted_tu = true;
+      in.taint_source = t->second;
+    }
+    auto file_result = check_file(in);
+    for (auto& f : file_result.findings)
+      result.findings.push_back(std::move(f));
+    for (auto& s : file_result.suppressions)
+      result.suppressions.push_back(std::move(s));
+  }
+  // files_ is an ordered map, so findings are already file-sorted and
+  // check_file() sorts within a file: the report is deterministic.
+  return result;
+}
+
+void write_report(std::ostream& out, const LintResult& result) {
+  for (const auto& f : result.findings)
+    out << f.file << ":" << f.line << " " << f.rule << " " << f.message
+        << "\n";
+  out << "laacad_lint: " << result.files_scanned << " files, "
+      << result.findings.size() << " finding"
+      << (result.findings.size() == 1 ? "" : "s") << ", "
+      << result.suppressions.size() << " suppression"
+      << (result.suppressions.size() == 1 ? "" : "s") << "\n";
+  for (const auto& s : result.suppressions)
+    out << "  allowed " << s.file << ":" << s.line << " " << s.rule << " — "
+        << s.reason << "\n";
+}
+
+}  // namespace laacad::lint

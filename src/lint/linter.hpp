@@ -1,0 +1,58 @@
+// Orchestration for laacad_lint: file loading, the project include graph
+// (which decides where unordered-iter applies), per-file policy
+// resolution, and the report. Files can come from disk
+// (`add_directory`) or from memory (`add_file`) — the tests feed fixture
+// sources straight in, the CLI walks src/.
+//
+// The include graph only follows `#include "..."` between scanned files
+// (the repo convention: quoted includes are project files rooted at
+// src/). A translation unit is "tainted" when its transitive closure
+// reaches common/json_writer.hpp or campaign/manifest.hpp — the two
+// byte-stable artifact writers — and every file compiled into a tainted
+// TU gets the unordered-iter rule, attributed to the include path that
+// caused it.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/policy.hpp"
+#include "lint/rules.hpp"
+
+namespace laacad::lint {
+
+struct LintResult {
+  std::vector<Finding> findings;          ///< sorted by (file, line, rule)
+  std::vector<Suppression> suppressions;  ///< every pragma that fired
+  int files_scanned = 0;
+
+  bool clean() const { return findings.empty(); }
+};
+
+class Linter {
+ public:
+  explicit Linter(Policy policy);
+
+  /// Register an in-memory source file under a root-relative path.
+  void add_file(const std::string& rel_path, const std::string& source);
+
+  /// Recursively load every .hpp/.cpp under `root_dir` (sorted walk, so
+  /// reports are stable). Throws std::runtime_error on unreadable files.
+  void add_directory(const std::string& root_dir);
+
+  /// Lint everything registered so far.
+  LintResult run() const;
+
+ private:
+  Policy policy_;
+  std::map<std::string, std::vector<Token>> files_;  // rel path -> tokens
+};
+
+/// Print findings as `file:line rule message` lines, then a one-line
+/// summary and (when present) the suppression table.
+void write_report(std::ostream& out, const LintResult& result);
+
+}  // namespace laacad::lint

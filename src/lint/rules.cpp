@@ -1,0 +1,410 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "lint/policy.hpp"
+
+namespace laacad::lint {
+
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+bool is_unordered_container(const std::string& ident) {
+  return ident == "unordered_map" || ident == "unordered_set" ||
+         ident == "unordered_multimap" || ident == "unordered_multiset";
+}
+
+/// View over the code tokens only (no comments, no directives), keeping
+/// the adjacency queries the rules need.
+class CodeView {
+ public:
+  explicit CodeView(const std::vector<Token>& toks) {
+    for (const auto& t : toks)
+      if (t.kind != TokKind::kComment && t.kind != TokKind::kDirective)
+        toks_.push_back(&t);
+  }
+
+  std::size_t size() const { return toks_.size(); }
+  const Token& at(std::size_t i) const { return *toks_[i]; }
+
+  bool is_punct(std::size_t i, char c) const {
+    return i < size() && at(i).kind == TokKind::kPunct && at(i).text[0] == c;
+  }
+  bool is_ident(std::size_t i, const char* s) const {
+    return i < size() && at(i).kind == TokKind::kIdent && at(i).text == s;
+  }
+
+  /// Index just past the balanced <...> opened at `open` (which must be
+  /// '<'), or `open + 1` when the run never closes (treated as a
+  /// comparison, not a template argument list).
+  std::size_t skip_angles(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < size(); ++i) {
+      if (at(i).kind != TokKind::kPunct) continue;
+      const char c = at(i).text[0];
+      if (c == '<') ++depth;
+      if (c == '>' && --depth == 0) return i + 1;
+      if (c == ';' || c == '{') break;  // statement ended: not a template
+    }
+    return open + 1;
+  }
+
+ private:
+  std::vector<const Token*> toks_;
+};
+
+/// f-suffixed decimal (or hex-exponent) literal => single precision.
+bool is_float_literal(const std::string& num) {
+  if (num.empty()) return false;
+  const char last = num.back();
+  if (last != 'f' && last != 'F') return false;
+  const bool hex = num.size() > 1 && num[0] == '0' &&
+                   (num[1] == 'x' || num[1] == 'X');
+  if (hex) return num.find_first_of("pP") != std::string::npos;
+  return num.find_first_of(".eE") != std::string::npos;
+}
+
+// ----------------------------------------------------------- pragmas --
+
+struct Pragma {
+  int comment_line = 0;
+  int target_line = 0;
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse every `lint:allow(<rule>): <reason>` escape; malformed escapes
+/// become findings right here (they can never be suppressed).
+std::vector<Pragma> collect_pragmas(const FileCheckInput& in,
+                                    std::vector<Finding>* findings) {
+  std::vector<Pragma> pragmas;
+  const auto& toks = *in.tokens;
+  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+    const Token& t = toks[ti];
+    if (t.kind != TokKind::kComment) continue;
+    // The escape must *start* the comment — prose that merely mentions
+    // `lint:allow(...)` (like this sentence) is not an escape.
+    const std::string trimmed = trim(t.text);
+    if (trimmed.rfind("lint:allow", 0) != 0) continue;
+    const auto pos = t.text.find("lint:allow");
+
+    auto bad = [&](const std::string& why) {
+      findings->push_back({in.rel_path, t.line, "lint-pragma", why});
+    };
+    std::size_t i = pos + std::string("lint:allow").size();
+    if (i >= t.text.size() || t.text[i] != '(') {
+      bad("malformed escape: want lint:allow(<rule>): <reason>");
+      continue;
+    }
+    const auto close = t.text.find(')', ++i);
+    if (close == std::string::npos) {
+      bad("malformed escape: unterminated '(' in lint:allow");
+      continue;
+    }
+    Pragma p;
+    p.rule = trim(t.text.substr(i, close - i));
+    if (!is_known_rule(p.rule)) {
+      bad("lint:allow names unknown rule '" + p.rule + "'");
+      continue;
+    }
+    std::size_t after = close + 1;
+    while (after < t.text.size() &&
+           std::isspace(static_cast<unsigned char>(t.text[after])))
+      ++after;
+    if (after >= t.text.size() || t.text[after] != ':') {
+      bad("lint:allow(" + p.rule + ") requires ': <reason>'");
+      continue;
+    }
+    p.reason = trim(t.text.substr(after + 1));
+    if (p.reason.empty()) {
+      bad("lint:allow(" + p.rule + ") requires a non-empty justification");
+      continue;
+    }
+
+    // Trailing comment guards its own line; a standalone comment guards
+    // the next code-bearing line (blank lines in between are fine).
+    p.comment_line = t.line;
+    bool trailing = false;
+    for (const auto& other : toks)
+      if (&other != &t && other.kind != TokKind::kComment &&
+          other.line == t.line) {
+        trailing = true;
+        break;
+      }
+    if (trailing) {
+      p.target_line = t.line;
+    } else {
+      int next = 0;
+      for (const auto& other : toks)
+        if (other.kind != TokKind::kComment && other.line > t.line &&
+            (next == 0 || other.line < next))
+          next = other.line;
+      p.target_line = next;  // 0: nothing follows — stays unused
+    }
+    pragmas.push_back(std::move(p));
+  }
+  return pragmas;
+}
+
+// ------------------------------------------------------------- rules --
+
+void check_banned_idents(const FileCheckInput& in, const CodeView& code,
+                         std::vector<Finding>* out) {
+  struct Ban {
+    const char* rule;
+    const char* ident;
+    bool call_only;  // only when the next token is '('
+    const char* why;
+  };
+  static constexpr std::array<Ban, 14> kBans = {{
+      {"wall-clock", "system_clock", false,
+       "results must not depend on real time"},
+      {"wall-clock", "steady_clock", false,
+       "results must not depend on real time"},
+      {"wall-clock", "high_resolution_clock", false,
+       "results must not depend on real time"},
+      {"wall-clock", "time", true, "results must not depend on real time"},
+      {"wall-clock", "clock", true, "results must not depend on real time"},
+      {"wall-clock", "gettimeofday", false,
+       "results must not depend on real time"},
+      {"ambient-rng", "rand", true, "use seeded common::Rng streams"},
+      {"ambient-rng", "srand", false, "use seeded common::Rng streams"},
+      {"ambient-rng", "rand_r", false, "use seeded common::Rng streams"},
+      {"ambient-rng", "drand48", false, "use seeded common::Rng streams"},
+      {"ambient-rng", "random_device", false,
+       "use seeded common::Rng streams"},
+      {"ambient-rng", "random_shuffle", false,
+       "use seeded common::Rng streams"},
+      {"ambient-env", "getenv", false,
+       "config enters through specs and flags, not the environment"},
+      {"ambient-env", "secure_getenv", false,
+       "config enters through specs and flags, not the environment"},
+  }};
+  static constexpr std::array<const char*, 3> kEnvWriters = {
+      "setenv", "putenv", "unsetenv"};
+
+  const bool wall = contains(in.rules, "wall-clock");
+  const bool rng = contains(in.rules, "ambient-rng");
+  const bool env = contains(in.rules, "ambient-env");
+  if (!wall && !rng && !env) return;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code.at(i);
+    if (t.kind != TokKind::kIdent) continue;
+    for (const auto& ban : kBans) {
+      if (t.text != ban.ident) continue;
+      if (ban.call_only && !code.is_punct(i + 1, '(')) continue;
+      const std::string rule = ban.rule;
+      if ((rule == "wall-clock" && !wall) || (rule == "ambient-rng" && !rng) ||
+          (rule == "ambient-env" && !env))
+        continue;
+      out->push_back({in.rel_path, t.line, rule,
+                      "'" + t.text + "' in a deterministic layer (" +
+                          ban.why + ")"});
+    }
+    if (env)
+      for (const char* w : kEnvWriters)
+        if (t.text == w)
+          out->push_back({in.rel_path, t.line, "ambient-env",
+                          "'" + t.text +
+                              "' mutates the process environment in a "
+                              "deterministic layer"});
+  }
+}
+
+void check_float_arith(const FileCheckInput& in, const CodeView& code,
+                       std::vector<Finding>* out) {
+  if (!contains(in.rules, "float-arith")) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code.at(i);
+    if (t.kind == TokKind::kIdent && t.text == "float")
+      out->push_back({in.rel_path, t.line, "float-arith",
+                      "'float' in a double-precision layer (the kernel's "
+                      "tie-breaks and clipping bounds assume double)"});
+    else if (t.kind == TokKind::kNumber && is_float_literal(t.text))
+      out->push_back({in.rel_path, t.line, "float-arith",
+                      "single-precision literal '" + t.text +
+                          "' in a double-precision layer"});
+  }
+}
+
+void check_pragma_once(const FileCheckInput& in,
+                       std::vector<Finding>* out) {
+  if (!contains(in.rules, "pragma-once")) return;
+  const auto n = in.rel_path.size();
+  if (n < 4 || in.rel_path.compare(n - 4, 4, ".hpp") != 0) return;
+  if (!has_pragma_once(*in.tokens))
+    out->push_back({in.rel_path, 1, "pragma-once",
+                    "header is missing '#pragma once'"});
+}
+
+void check_unordered_iter(const FileCheckInput& in, const CodeView& code,
+                          std::vector<Finding>* out) {
+  if (!contains(in.rules, "unordered-iter") || !in.tainted_tu) return;
+
+  // Pass 1: names declared with an unordered container type in this file.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code.at(i);
+    if (t.kind != TokKind::kIdent || !is_unordered_container(t.text)) continue;
+    std::size_t j = i + 1;
+    if (code.is_punct(j, '<')) j = code.skip_angles(j);
+    // Skip ref/pointer/cv decoration between the type and the name.
+    while (j < code.size() &&
+           (code.is_punct(j, '&') || code.is_punct(j, '*') ||
+            code.is_ident(j, "const")))
+      ++j;
+    if (j < code.size() && code.at(j).kind == TokKind::kIdent &&
+        !code.is_punct(j + 1, ':'))  // skip unordered_map<...>::iterator
+      names.insert(code.at(j).text);
+  }
+
+  const std::string because =
+      " in a translation unit that reaches " + in.taint_source +
+      " (unordered iteration order must never feed a byte-stable "
+      "artifact; sort first or use an ordered container)";
+
+  // Pass 2a: range-for whose range expression names an unordered
+  // container (a declared name or a direct unordered_* temporary).
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!code.is_ident(i, "for") || !code.is_punct(i + 1, '(')) continue;
+    int depth = 0;
+    std::size_t colon = 0, close = 0;
+    for (std::size_t j = i + 1; j < code.size(); ++j) {
+      if (code.is_punct(j, '(')) ++depth;
+      if (code.is_punct(j, ')') && --depth == 0) {
+        close = j;
+        break;
+      }
+      // A single ':' at paren depth 1 is the range-for separator;
+      // '::' shows up as two adjacent ':' tokens — skip both sides.
+      if (depth == 1 && code.is_punct(j, ':') && !code.is_punct(j + 1, ':') &&
+          !code.is_punct(j - 1, ':') && colon == 0)
+        colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      const Token& t = code.at(j);
+      if (t.kind != TokKind::kIdent) continue;
+      if (names.count(t.text) || is_unordered_container(t.text)) {
+        out->push_back({in.rel_path, code.at(i).line, "unordered-iter",
+                        "range-for over unordered container '" + t.text +
+                            "'" + because});
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks: name.begin() and friends.
+  static constexpr std::array<const char*, 6> kIterFns = {
+      "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+  for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+    const Token& t = code.at(i);
+    if (t.kind != TokKind::kIdent || !names.count(t.text)) continue;
+    if (!code.is_punct(i + 1, '.')) continue;
+    const Token& fn = code.at(i + 2);
+    if (fn.kind != TokKind::kIdent || !code.is_punct(i + 3, '(')) continue;
+    // `it == m.end()` / `it != m.end()` is the find-lookup sentinel, not
+    // iteration — the preceding '=' (second half of ==/!=) marks it.
+    if ((fn.text == "end" || fn.text == "cend") && i > 0 &&
+        code.is_punct(i - 1, '='))
+      continue;
+    for (const char* f : kIterFns)
+      if (fn.text == f) {
+        out->push_back({in.rel_path, t.line, "unordered-iter",
+                        "'" + t.text + "." + fn.text +
+                            "()' iterates an unordered container" + because});
+        break;
+      }
+  }
+}
+
+}  // namespace
+
+FileCheckResult check_file(const FileCheckInput& in) {
+  FileCheckResult res;
+  const CodeView code(*in.tokens);
+
+  std::vector<Finding> raw;
+  check_banned_idents(in, code, &raw);
+  check_float_arith(in, code, &raw);
+  check_pragma_once(in, &raw);
+  check_unordered_iter(in, code, &raw);
+
+  auto pragmas = collect_pragmas(in, &res.findings);
+
+  for (auto& f : raw) {
+    bool suppressed = false;
+    for (auto& p : pragmas)
+      if (p.target_line == f.line && p.rule == f.rule) {
+        p.used = true;
+        suppressed = true;
+        res.suppressions.push_back({in.rel_path, f.line, p.rule, p.reason});
+        break;
+      }
+    if (!suppressed) res.findings.push_back(std::move(f));
+  }
+
+  // A pragma that suppressed nothing is stale — that is a defect too.
+  for (const auto& p : pragmas)
+    if (!p.used)
+      res.findings.push_back(
+          {in.rel_path, p.comment_line, "lint-pragma",
+           "unused lint:allow(" + p.rule + ") — no '" + p.rule +
+               "' finding on the guarded line"});
+
+  std::sort(res.findings.begin(), res.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return res;
+}
+
+std::vector<std::string> quoted_includes(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    std::istringstream iss(t.text);
+    std::string kw;
+    iss >> kw;
+    if (kw != "include") continue;
+    std::string rest;
+    std::getline(iss, rest);
+    const auto open = rest.find('"');
+    if (open == std::string::npos) continue;
+    const auto close = rest.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(rest.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+bool has_pragma_once(const std::vector<Token>& tokens) {
+  for (const auto& t : tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    std::istringstream iss(t.text);
+    std::string kw, arg;
+    iss >> kw >> arg;
+    if (kw == "pragma" && arg == "once") return true;
+  }
+  return false;
+}
+
+}  // namespace laacad::lint

@@ -1,0 +1,80 @@
+// The determinism rules laacad_lint enforces, over lexer.hpp token
+// streams. Each rule is lexical by design — no type information — so the
+// bans are phrased as "this token pattern can only mean trouble in a
+// deterministic layer":
+//
+//   wall-clock      system_clock / steady_clock / high_resolution_clock,
+//                   and time( / clock( calls. Results must be a function
+//                   of (spec, seed, thread count), never of real time.
+//   ambient-rng     rand / srand / rand_r / drand48 / random_device /
+//                   random_shuffle. All randomness flows through seeded
+//                   laacad::common::Rng streams.
+//   ambient-env     getenv / secure_getenv / setenv / putenv / unsetenv.
+//                   Config enters through specs and flags, not the
+//                   environment (examples may gate *extra checks* on env
+//                   vars, but src/ results never depend on them).
+//   unordered-iter  iteration (range-for, .begin()/.end() family) over
+//                   std::unordered_{map,set,multimap,multiset} in any
+//                   translation unit that reaches common/json_writer.hpp
+//                   or campaign/manifest.hpp — unordered iteration order
+//                   feeding a byte-stable artifact is the classic silent
+//                   determinism break. Lookup (find/at/count/emplace) is
+//                   fine and unflagged.
+//   float-arith     the `float` keyword and f-suffixed literals, opted
+//                   into by geometry/ and voronoi/ — the kernel's
+//                   tie-break and clipping proofs assume double.
+//   pragma-once     every .hpp must contain `#pragma once`.
+//
+// Escape hatch: `// lint:allow(<rule>): <reason>` suppresses that rule on
+// its own line (trailing comment) or on the next code-bearing line
+// (standalone comment). The reason is mandatory, the pragma must actually
+// suppress something (stale pragmas are findings themselves), and every
+// suppression is reported in the run summary so exemptions stay visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace laacad::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A used `lint:allow` pragma, for the run summary.
+struct Suppression {
+  std::string file;
+  int line = 0;  ///< line of the suppressed finding
+  std::string rule;
+  std::string reason;
+};
+
+struct FileCheckInput {
+  std::string rel_path;                   ///< root-relative, '/'-separated
+  const std::vector<Token>* tokens = nullptr;
+  std::vector<std::string> rules;         ///< active rules (policy resolved)
+  bool tainted_tu = false;                ///< TU reaches json_writer/manifest
+  std::string taint_source;               ///< e.g. "common/json_writer.hpp"
+};
+
+struct FileCheckResult {
+  std::vector<Finding> findings;          ///< unsuppressed + pragma defects
+  std::vector<Suppression> suppressions;  ///< pragmas that fired
+};
+
+/// Run every active rule plus the (unconditional) pragma checks.
+FileCheckResult check_file(const FileCheckInput& in);
+
+/// Project-relative paths from `#include "..."` directives, in order.
+/// Angle-bracket includes are system headers and are not returned.
+std::vector<std::string> quoted_includes(const std::vector<Token>& tokens);
+
+/// True when the token stream contains a `#pragma once` directive.
+bool has_pragma_once(const std::vector<Token>& tokens);
+
+}  // namespace laacad::lint

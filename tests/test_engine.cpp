@@ -154,10 +154,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(EngineCase{1, 25, 1}, EngineCase{2, 30, 2},
                       EngineCase{3, 30, 3}, EngineCase{4, 36, 4},
                       EngineCase{2, 50, 5}, EngineCase{1, 40, 6}),
-    [](const ::testing::TestParamInfo<EngineCase>& info) {
-      return "k" + std::to_string(info.param.k) + "_n" +
-             std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<EngineCase>& tpi) {
+      return "k" + std::to_string(tpi.param.k) + "_n" +
+             std::to_string(tpi.param.n) + "_s" +
+             std::to_string(tpi.param.seed);
     });
 
 TEST(Engine, MaxHatRadiusNonIncreasingForAlphaOne) {

@@ -1,0 +1,337 @@
+// laacad_lint: every rule gets a must-flag and a must-pass fixture, the
+// pragma grammar round-trips (justified escape suppresses exactly one
+// finding; missing reason / unknown rule / stale pragma are findings
+// themselves), the policy resolves prefixes the documented way, and the
+// include graph decides where unordered-iter applies. Fixtures are
+// in-memory sources fed through Linter::add_file — the same code path
+// the CLI uses after loading from disk.
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hpp"
+#include "lint/linter.hpp"
+#include "lint/policy.hpp"
+#include "lint/rules.hpp"
+
+namespace lint = laacad::lint;
+
+namespace {
+
+/// Lint one fixture under the default policy.
+lint::LintResult lint_source(const std::string& rel_path,
+                             const std::string& source) {
+  lint::Linter linter{lint::Policy{}};
+  linter.add_file(rel_path, source);
+  return linter.run();
+}
+
+lint::Policy parse_policy(const std::string& text) {
+  std::istringstream in(text);
+  return lint::Policy::parse(in);
+}
+
+bool has_finding(const lint::LintResult& r, const std::string& rule,
+                 int line) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const lint::Finding& f) {
+                       return f.rule == rule && f.line == line;
+                     });
+}
+
+int count_rule(const lint::LintResult& r, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const lint::Finding& f) { return f.rule == rule; }));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- lexer --
+
+TEST(LintLexer, BannedNamesInCommentsAndStringsAreNotIdentifiers) {
+  const auto r = lint_source("a.cpp",
+                             "// system_clock in a comment\n"
+                             "/* steady_clock\n   rand() */\n"
+                             "const char* s = \"random_device\";\n"
+                             "const char* r = R\"(getenv(\"HOME\"))\";\n");
+  EXPECT_TRUE(r.clean()) << r.findings.size();
+}
+
+TEST(LintLexer, TracksLinesAcrossMultilineConstructs) {
+  const auto r = lint_source("a.cpp",
+                             "/* line 1\n line 2\n line 3 */\n"
+                             "auto x = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 4);
+  EXPECT_EQ(r.findings[0].rule, "wall-clock");
+}
+
+// ----------------------------------------------------------------- rules --
+
+TEST(LintRules, WallClockFlagsClockTypesAndTimeCalls) {
+  const auto r = lint_source("a.cpp",
+                             "auto a = std::chrono::steady_clock::now();\n"
+                             "auto b = std::chrono::system_clock::now();\n"
+                             "std::time_t t = std::time(nullptr);\n");
+  EXPECT_TRUE(has_finding(r, "wall-clock", 1));
+  EXPECT_TRUE(has_finding(r, "wall-clock", 2));
+  EXPECT_TRUE(has_finding(r, "wall-clock", 3));
+}
+
+TEST(LintRules, WallClockPassesTimeAsPlainIdentifier) {
+  // `time` only counts followed by '(' — members and variables named
+  // time, and time_since_epoch(), are fine.
+  const auto r = lint_source("a.cpp",
+                             "double time = 0.0;\n"
+                             "double t = dur.time_since_epoch().count();\n"
+                             "row.time = time + 1;\n");
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintRules, AmbientRngFlagsRandFamily) {
+  const auto r = lint_source("a.cpp",
+                             "int a = rand();\n"
+                             "std::random_device rd;\n"
+                             "srand(42);\n");
+  EXPECT_EQ(count_rule(r, "ambient-rng"), 3);
+}
+
+TEST(LintRules, AmbientRngPassesSeededRngAndRandomHeaderNames) {
+  const auto r = lint_source("a.cpp",
+                             "common::Rng rng(seed);\n"
+                             "std::mt19937_64 gen(seed);\n"
+                             "int randomized = rng.next_int(4);\n");
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintRules, AmbientEnvFlagsGetenvAndEnvWriters) {
+  const auto r = lint_source("a.cpp",
+                             "const char* v = std::getenv(\"X\");\n"
+                             "setenv(\"X\", \"1\", 1);\n");
+  EXPECT_EQ(count_rule(r, "ambient-env"), 2);
+}
+
+TEST(LintRules, FloatArithIsPolicyOptIn) {
+  const std::string source = "float f = 1.5f;\ndouble d = 1.5;\n";
+  // Default policy: float-arith not active anywhere.
+  EXPECT_TRUE(lint_source("a.cpp", source).clean());
+
+  lint::Linter linter{parse_policy("extra geometry/ float-arith\n")};
+  linter.add_file("geometry/a.cpp", source);
+  const auto r = linter.run();
+  // Line 1 carries both the type and the literal finding; the double on
+  // line 2 is untouched.
+  EXPECT_EQ(count_rule(r, "float-arith"), 2);
+  EXPECT_TRUE(has_finding(r, "float-arith", 1));
+  EXPECT_FALSE(has_finding(r, "float-arith", 2));
+}
+
+TEST(LintRules, FloatArithIgnoresNonFloatSuffixForms) {
+  lint::Linter linter{parse_policy("extra geometry/ float-arith\n")};
+  linter.add_file("geometry/a.cpp",
+                  "auto a = 0xfff;\n"         // hex digits ending in f
+                  "auto b = 15.0;\n"          // plain double
+                  "auto c = 10f;\n"           // not a float literal form
+                  "auto d = buf;\n");         // identifier ending in f
+  EXPECT_TRUE(linter.run().clean());
+}
+
+TEST(LintRules, PragmaOnceRequiredInHeadersOnly) {
+  EXPECT_TRUE(has_finding(lint_source("a.hpp", "int x;\n"), "pragma-once", 1));
+  EXPECT_TRUE(lint_source("a.cpp", "int x;\n").clean());
+  EXPECT_TRUE(
+      lint_source("a.hpp", "// doc\n#pragma once\nint x;\n").clean());
+}
+
+// -------------------------------------------------------- unordered-iter --
+
+namespace {
+
+/// A TU that reaches the JSON writer and iterates an unordered_map.
+const char* kIteratingSource =
+    "#include \"common/json_writer.hpp\"\n"
+    "std::unordered_map<std::string, int> counts;\n"
+    "void dump() {\n"
+    "  for (const auto& [k, v] : counts) emit(k, v);\n"
+    "  auto it = counts.begin();\n"
+    "}\n";
+
+}  // namespace
+
+TEST(LintUnorderedIter, FlagsIterationOnlyInWriterTaintedTus) {
+  // Same source, no json_writer include: lookup and iteration both pass.
+  EXPECT_TRUE(
+      lint_source("a.cpp",
+                  "std::unordered_map<std::string, int> counts;\n"
+                  "void dump() {\n"
+                  "  for (const auto& [k, v] : counts) emit(k, v);\n"
+                  "}\n")
+          .clean());
+
+  lint::Linter linter{lint::Policy{}};
+  linter.add_file("common/json_writer.hpp", "#pragma once\nstruct W {};\n");
+  linter.add_file("a.cpp", kIteratingSource);
+  const auto r = linter.run();
+  EXPECT_TRUE(has_finding(r, "unordered-iter", 4));  // range-for
+  EXPECT_TRUE(has_finding(r, "unordered-iter", 5));  // .begin()
+  EXPECT_EQ(count_rule(r, "unordered-iter"), 2);
+}
+
+TEST(LintUnorderedIter, LookupIsNotIteration) {
+  lint::Linter linter{lint::Policy{}};
+  linter.add_file("common/json_writer.hpp", "#pragma once\nstruct W {};\n");
+  linter.add_file("a.cpp",
+                  "#include \"common/json_writer.hpp\"\n"
+                  "std::unordered_map<std::string, int> index;\n"
+                  "int get(const std::string& k) {\n"
+                  "  auto it = index.find(k);\n"
+                  "  return it == index.end() ? index.at(k) : it->second;\n"
+                  "}\n");
+  // find/at/emplace are fine, and `it == index.end()` is the find
+  // sentinel idiom, not iteration.
+  EXPECT_TRUE(linter.run().clean());
+}
+
+TEST(LintUnorderedIter, TaintFlowsThroughTheIncludeGraph) {
+  // helper.hpp iterates; it is clean alone but tainted once any TU
+  // compiles it together with the manifest codec.
+  lint::Linter clean{lint::Policy{}};
+  clean.add_file("campaign/manifest.hpp", "#pragma once\nstruct M {};\n");
+  clean.add_file("x/helper.hpp",
+                 "#pragma once\n"
+                 "std::unordered_set<int> pending;\n"
+                 "inline void drain() { for (int v : pending) use(v); }\n");
+  EXPECT_TRUE(clean.run().clean());
+
+  lint::Linter tainted{lint::Policy{}};
+  tainted.add_file("campaign/manifest.hpp", "#pragma once\nstruct M {};\n");
+  tainted.add_file("x/helper.hpp",
+                   "#pragma once\n"
+                   "std::unordered_set<int> pending;\n"
+                   "inline void drain() { for (int v : pending) use(v); }\n");
+  tainted.add_file("x/writer.cpp",
+                   "#include \"x/helper.hpp\"\n"
+                   "#include \"campaign/manifest.hpp\"\n");
+  const auto r = tainted.run();
+  ASSERT_EQ(count_rule(r, "unordered-iter"), 1);
+  EXPECT_EQ(r.findings[0].file, "x/helper.hpp");
+  EXPECT_NE(r.findings[0].message.find("via x/writer.cpp"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- pragmas --
+
+TEST(LintPragmas, TrailingAndStandaloneEscapesSuppressAndAreReported) {
+  const auto r = lint_source(
+      "a.cpp",
+      "auto a = std::chrono::steady_clock::now();  "
+      "// lint:allow(wall-clock): local profiling sink, never serialized\n"
+      "// lint:allow(ambient-rng): fixture needs a true entropy probe\n"
+      "\n"
+      "std::random_device rd;\n");
+  EXPECT_TRUE(r.clean());
+  ASSERT_EQ(r.suppressions.size(), 2u);
+  EXPECT_EQ(r.suppressions[0].rule, "wall-clock");
+  EXPECT_EQ(r.suppressions[0].reason,
+            "local profiling sink, never serialized");
+  EXPECT_EQ(r.suppressions[1].rule, "ambient-rng");
+  EXPECT_EQ(r.suppressions[1].line, 4);  // skipped the blank line
+}
+
+TEST(LintPragmas, EscapeOnlyCoversItsOwnRuleAndLine) {
+  const auto r = lint_source(
+      "a.cpp",
+      "// lint:allow(wall-clock): only the clock is sanctioned\n"
+      "auto a = std::chrono::steady_clock::now(); int b = rand();\n"
+      "auto c = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(r, "wall-clock"), 1);  // line 3 still flagged
+  EXPECT_TRUE(has_finding(r, "wall-clock", 3));
+  EXPECT_TRUE(has_finding(r, "ambient-rng", 2));  // different rule
+  EXPECT_EQ(r.suppressions.size(), 1u);
+}
+
+TEST(LintPragmas, MissingReasonIsItselfAFinding) {
+  const auto r = lint_source(
+      "a.cpp",
+      "auto a = std::chrono::steady_clock::now();  "
+      "// lint:allow(wall-clock):\n");
+  EXPECT_TRUE(has_finding(r, "lint-pragma", 1));
+  EXPECT_TRUE(has_finding(r, "wall-clock", 1));  // not suppressed
+}
+
+TEST(LintPragmas, UnknownRuleIsItselfAFinding) {
+  const auto r =
+      lint_source("a.cpp", "// lint:allow(no-such-rule): because\nint x;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "lint-pragma");
+}
+
+TEST(LintPragmas, StalePragmaIsItselfAFinding) {
+  const auto r = lint_source(
+      "a.cpp", "// lint:allow(wall-clock): nothing here needs it\nint x;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "lint-pragma");
+  EXPECT_NE(r.findings[0].message.find("unused"), std::string::npos);
+}
+
+TEST(LintPragmas, ProseMentioningTheGrammarIsNotAnEscape) {
+  const auto r = lint_source(
+      "a.cpp",
+      "// Escapes are written as `lint:allow(<rule>): <reason>` — see\n"
+      "// rules.hpp for the grammar.\n"
+      "int x;\n");
+  EXPECT_TRUE(r.clean());
+}
+
+// ----------------------------------------------------------------- policy --
+
+TEST(LintPolicy, AllowAndExtraResolveByPrefix) {
+  const auto p = parse_policy(
+      "extra geometry/ float-arith\n"
+      "allow obs/ wall-clock\n"
+      "allow serve/latency. wall-clock\n");
+  auto has = [](const std::vector<std::string>& rules, const char* r) {
+    return std::find(rules.begin(), rules.end(), r) != rules.end();
+  };
+  EXPECT_TRUE(has(p.rules_for("geometry/vec2.cpp"), "float-arith"));
+  EXPECT_FALSE(has(p.rules_for("wsn/network.cpp"), "float-arith"));
+  EXPECT_FALSE(has(p.rules_for("obs/trace.cpp"), "wall-clock"));
+  EXPECT_TRUE(has(p.rules_for("serve/service.cpp"), "wall-clock"));
+  EXPECT_FALSE(has(p.rules_for("serve/latency.cpp"), "wall-clock"));
+  EXPECT_FALSE(has(p.rules_for("serve/latency.hpp"), "wall-clock"));
+}
+
+TEST(LintPolicy, BaseDirectiveReplacesTheDefaultSet) {
+  const auto p = parse_policy("base pragma-once\n");
+  EXPECT_EQ(p.rules_for("any/file.cpp"),
+            std::vector<std::string>{"pragma-once"});
+}
+
+TEST(LintPolicy, RejectsUnknownRulesAndDirectives) {
+  EXPECT_THROW(parse_policy("extra geometry/ no-such-rule\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_policy("frobnicate x y\n"), std::runtime_error);
+  EXPECT_THROW(parse_policy("allow geometry/\n"), std::runtime_error);
+}
+
+TEST(LintPolicy, PolicyAllowsNeedNoPragma) {
+  lint::Linter linter{parse_policy("allow obs/ wall-clock\n")};
+  linter.add_file("obs/timer.cpp",
+                  "auto t = std::chrono::steady_clock::now();\n");
+  const auto r = linter.run();
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.suppressions.empty());  // policy exemptions are silent
+}
+
+// ------------------------------------------------------------------ report --
+
+TEST(LintReport, FormatsFindingsAndSummary) {
+  const auto r = lint_source("a.cpp", "int x = rand();\n");
+  std::ostringstream out;
+  lint::write_report(out, r);
+  EXPECT_NE(out.str().find("a.cpp:1 ambient-rng"), std::string::npos);
+  EXPECT_NE(out.str().find("1 file"), std::string::npos);
+  EXPECT_NE(out.str().find("1 finding"), std::string::npos);
+}

@@ -184,9 +184,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RegionCase{7, 4}, RegionCase{8, 4}, RegionCase{9, 5},
                       RegionCase{10, 6}, RegionCase{11, 8}, RegionCase{12, 2},
                       RegionCase{13, 3}, RegionCase{14, 5}, RegionCase{15, 7}),
-    [](const ::testing::TestParamInfo<RegionCase>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_k" +
-             std::to_string(info.param.k);
+    [](const ::testing::TestParamInfo<RegionCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) + "_k" +
+             std::to_string(tpi.param.k);
     });
 
 // Star-shapedness (the property the BFS correctness rests on): along the
@@ -314,10 +314,10 @@ INSTANTIATE_TEST_SUITE_P(
                       PartitionCase{83, 3, false}, PartitionCase{83, 3, true},
                       PartitionCase{84, 2, false}, PartitionCase{84, 2, true},
                       PartitionCase{85, 3, false}, PartitionCase{85, 3, true}),
-    [](const ::testing::TestParamInfo<PartitionCase>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_k" +
-             std::to_string(info.param.k) +
-             (info.param.grid ? "_grid" : "_brute");
+    [](const ::testing::TestParamInfo<PartitionCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) + "_k" +
+             std::to_string(tpi.param.k) +
+             (tpi.param.grid ? "_grid" : "_brute");
     });
 
 // ------------------------------------------------ sliver-edge regression ---

@@ -158,7 +158,9 @@ TEST(Snapshot, ClosestNodesMatchesBruteForce) {
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_NEAR(got[i].dist, dists[i], 1e-9);
       EXPECT_NEAR((got[i].pos - q).norm(), got[i].dist, 1e-9);
-      if (i > 0) EXPECT_GE(got[i].dist, got[i - 1].dist);
+      if (i > 0) {
+        EXPECT_GE(got[i].dist, got[i - 1].dist);
+      }
     }
   }
 }
